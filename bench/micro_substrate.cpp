@@ -1,0 +1,140 @@
+// Micro-benchmarks for the substrate kernels that determine whether the
+// deployment's offline training and online scoring budgets (paper §4, §6.2)
+// are attainable: GEMM, FFT, single feature extractors, chi-square scoring,
+// one VAE training epoch, and the baselines' fit costs.
+#include "bench_common.hpp"
+
+#include "features/extractors.hpp"
+#include "features/fft.hpp"
+#include "features/registry.hpp"
+#include "nn/trainer.hpp"
+#include "telemetry/metrics.hpp"
+#include "tensor/ops.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace prodigy;
+
+tensor::Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.gaussian();
+  return m;
+}
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.gaussian();
+  return xs;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2.0 * static_cast<double>(n * n * n) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_PowerSpectrum(benchmark::State& state) {
+  const auto xs = random_series(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::power_spectrum(xs));
+  }
+}
+BENCHMARK(BM_PowerSpectrum)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_ApproximateEntropy(benchmark::State& state) {
+  const auto xs = random_series(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::approximate_entropy(xs, 2, 0.2));
+  }
+}
+BENCHMARK(BM_ApproximateEntropy)->Arg(256)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_FullRegistryOneSeries(benchmark::State& state) {
+  const auto xs = random_series(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::compute_all_features(xs));
+  }
+  state.counters["features"] = static_cast<double>(features::features_per_metric());
+}
+BENCHMARK(BM_FullRegistryOneSeries)->Arg(120)->Arg(1200)->Unit(benchmark::kMillisecond);
+
+void BM_Chi2Scores(benchmark::State& state) {
+  const auto X = [&] {
+    auto m = random_matrix(static_cast<std::size_t>(state.range(0)), 1024, 6);
+    for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = std::abs(m.data()[i]);
+    return m;
+  }();
+  std::vector<int> y(X.rows());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = i % 10 == 0 ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::chi2_scores(X, y));
+  }
+}
+BENCHMARK(BM_Chi2Scores)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_VaeEpoch(benchmark::State& state) {
+  const auto X = random_matrix(256, static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench::ModelOptions options;
+    options.epochs = 1;
+    core::ProdigyDetector detector(bench::prodigy_config(options));
+    state.ResumeTiming();
+    detector.fit_healthy(X);
+  }
+}
+BENCHMARK(BM_VaeEpoch)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_IsolationForestFit(benchmark::State& state) {
+  const auto X = random_matrix(static_cast<std::size_t>(state.range(0)), 256, 8);
+  std::vector<int> y(X.rows(), 0);
+  for (auto _ : state) {
+    baselines::IsolationForest forest;
+    forest.fit(X, y);
+    benchmark::DoNotOptimize(forest);
+  }
+}
+BENCHMARK(BM_IsolationForestFit)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_LofFit(benchmark::State& state) {
+  const auto X = random_matrix(static_cast<std::size_t>(state.range(0)), 256, 9);
+  std::vector<int> y(X.rows(), 0);
+  for (auto _ : state) {
+    baselines::LocalOutlierFactor lof;
+    lof.fit(X, y);
+    benchmark::DoNotOptimize(lof);
+  }
+}
+BENCHMARK(BM_LofFit)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_TelemetryGeneration(benchmark::State& state) {
+  telemetry::RunConfig config;
+  config.app = telemetry::application_by_name("HACC");
+  config.duration_s = static_cast<double>(state.range(0));
+  config.num_nodes = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::generate_run(config));
+    ++config.seed;
+  }
+  state.counters["datapoints_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * config.duration_s * 4.0 *
+          static_cast<double>(telemetry::metric_count()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TelemetryGeneration)->Arg(300)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

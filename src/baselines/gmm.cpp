@@ -1,0 +1,149 @@
+#include "baselines/gmm.hpp"
+
+#include "tensor/stats.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace prodigy::baselines {
+
+namespace {
+
+double log_sum_exp(std::span<const double> xs) {
+  const double max = *std::max_element(xs.begin(), xs.end());
+  if (!std::isfinite(max)) return max;
+  double acc = 0.0;
+  for (const double x : xs) acc += std::exp(x - max);
+  return max + std::log(acc);
+}
+
+}  // namespace
+
+double GmmDetector::component_log_density(std::size_t k,
+                                          std::span<const double> x) const {
+  constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+  double acc = std::log(weights_[k]);
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const double var = variances_(k, d);
+    const double diff = x[d] - means_(k, d);
+    acc -= 0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+  }
+  return acc;
+}
+
+double GmmDetector::log_likelihood(std::span<const double> x) const {
+  std::vector<double> logs(weights_.size());
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    logs[k] = component_log_density(k, x);
+  }
+  return log_sum_exp(logs);
+}
+
+void GmmDetector::fit(const tensor::Matrix& X, const std::vector<int>& labels) {
+  if (X.rows() < 2) throw std::invalid_argument("GmmDetector::fit: too few rows");
+  (void)labels;  // unsupervised; contaminated training data stays in
+
+  const std::size_t n = X.rows();
+  const std::size_t dims = X.cols();
+  const std::size_t k_components = std::min(config_.components, n);
+
+  // Init: random distinct samples as means, global variance as covariance.
+  util::Rng rng(config_.seed);
+  weights_.assign(k_components, 1.0 / static_cast<double>(k_components));
+  means_ = tensor::Matrix(k_components, dims);
+  variances_ = tensor::Matrix(k_components, dims);
+  const auto init_rows = rng.permutation(n);
+  for (std::size_t k = 0; k < k_components; ++k) {
+    means_.set_row(k, X.row(init_rows[k]));
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double var = tensor::variance(X.column(d));
+      variances_(k, d) = std::max(var, config_.covariance_floor);
+    }
+  }
+
+  tensor::Matrix responsibilities(n, k_components);
+  double previous_ll = -std::numeric_limits<double>::infinity();
+
+  for (iterations_run_ = 0; iterations_run_ < config_.max_iterations;
+       ++iterations_run_) {
+    // E-step.
+    double total_ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> logs(k_components);
+      for (std::size_t k = 0; k < k_components; ++k) {
+        logs[k] = component_log_density(k, X.row(i));
+      }
+      const double lse = log_sum_exp(logs);
+      total_ll += lse;
+      for (std::size_t k = 0; k < k_components; ++k) {
+        responsibilities(i, k) = std::exp(logs[k] - lse);
+      }
+    }
+    train_log_likelihood_ = total_ll / static_cast<double>(n);
+
+    // M-step.
+    for (std::size_t k = 0; k < k_components; ++k) {
+      double resp_sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) resp_sum += responsibilities(i, k);
+      if (resp_sum < 1e-10) {
+        // Dead component: re-seed on a random sample.
+        means_.set_row(k, X.row(rng.uniform_index(n)));
+        weights_[k] = 1.0 / static_cast<double>(n);
+        continue;
+      }
+      weights_[k] = resp_sum / static_cast<double>(n);
+      for (std::size_t d = 0; d < dims; ++d) {
+        double mean_acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          mean_acc += responsibilities(i, k) * X(i, d);
+        }
+        const double mean = mean_acc / resp_sum;
+        means_(k, d) = mean;
+        double var_acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double diff = X(i, d) - mean;
+          var_acc += responsibilities(i, k) * diff * diff;
+        }
+        variances_(k, d) = std::max(var_acc / resp_sum, config_.covariance_floor);
+      }
+    }
+    // Renormalize weights (re-seeded components perturb the sum).
+    double weight_sum = 0.0;
+    for (const double w : weights_) weight_sum += w;
+    for (double& w : weights_) w /= weight_sum;
+
+    if (train_log_likelihood_ - previous_ll < config_.tolerance &&
+        iterations_run_ > 0) {
+      ++iterations_run_;
+      break;
+    }
+    previous_ll = train_log_likelihood_;
+  }
+
+  const auto scores = score(X);
+  threshold_ = tensor::quantile(scores, 1.0 - config_.contamination);
+}
+
+std::vector<double> GmmDetector::score(const tensor::Matrix& X) const {
+  if (weights_.empty()) throw std::logic_error("GmmDetector::score before fit");
+  std::vector<double> scores(X.rows());
+  util::parallel_for(0, X.rows(), [&](std::size_t i) {
+    scores[i] = -log_likelihood(X.row(i));  // higher = less likely = anomalous
+  }, 16);
+  return scores;
+}
+
+std::vector<int> GmmDetector::predict(const tensor::Matrix& X) const {
+  const auto scores = score(X);
+  std::vector<int> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return predictions;
+}
+
+}  // namespace prodigy::baselines

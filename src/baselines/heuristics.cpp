@@ -1,0 +1,43 @@
+#include "baselines/heuristics.hpp"
+
+namespace prodigy::baselines {
+
+std::vector<double> RandomPrediction::score(const tensor::Matrix& X) const {
+  util::Rng rng(seed_);
+  std::vector<double> scores(X.rows());
+  for (auto& s : scores) s = rng.uniform();
+  return scores;
+}
+
+std::vector<int> RandomPrediction::predict(const tensor::Matrix& X) const {
+  util::Rng rng(seed_);
+  std::vector<int> predictions(X.rows());
+  for (auto& p : predictions) p = rng.bernoulli(0.5) ? 1 : 0;
+  return predictions;
+}
+
+int MajorityLabelPrediction::majority_of(const std::vector<int>& labels) noexcept {
+  std::size_t anomalous = 0;
+  for (int label : labels) anomalous += label != 0 ? 1 : 0;
+  return 2 * anomalous > labels.size() ? 1 : 0;
+}
+
+void MajorityLabelPrediction::fit(const tensor::Matrix&,
+                                  const std::vector<int>& labels) {
+  majority_ = majority_of(labels);
+}
+
+void MajorityLabelPrediction::tune(const tensor::Matrix&,
+                                   const std::vector<int>& labels) {
+  if (!labels.empty()) majority_ = majority_of(labels);
+}
+
+std::vector<double> MajorityLabelPrediction::score(const tensor::Matrix& X) const {
+  return std::vector<double>(X.rows(), static_cast<double>(majority_));
+}
+
+std::vector<int> MajorityLabelPrediction::predict(const tensor::Matrix& X) const {
+  return std::vector<int>(X.rows(), majority_);
+}
+
+}  // namespace prodigy::baselines

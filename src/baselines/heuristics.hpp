@@ -1,0 +1,51 @@
+// The paper's two heuristic baselines (§5.3):
+//  * Random Prediction — uniformly random labels;
+//  * Majority Label Prediction — predicts the majority label of the *test*
+//    dataset (the paper's definition; an intentionally clairvoyant floor:
+//    an ML model failing to beat it adds no value).
+#pragma once
+
+#include "core/detector_iface.hpp"
+#include "util/rng.hpp"
+
+#include <vector>
+
+namespace prodigy::baselines {
+
+class RandomPrediction final : public core::Detector {
+ public:
+  explicit RandomPrediction(std::uint64_t seed = 99) : seed_(seed) {}
+
+  std::string name() const override { return "Random Prediction"; }
+
+  void fit(const tensor::Matrix&, const std::vector<int>&) override {}
+
+  std::vector<double> score(const tensor::Matrix& X) const override;
+  std::vector<int> predict(const tensor::Matrix& X) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class MajorityLabelPrediction final : public core::Detector {
+ public:
+  std::string name() const override { return "Majority Label Prediction"; }
+
+  /// Remembers the training majority as a fallback.
+  void fit(const tensor::Matrix&, const std::vector<int>& labels) override;
+
+  /// The paper's majority is taken from the test dataset; the harness hands
+  /// the labeled test set to tune().
+  void tune(const tensor::Matrix&, const std::vector<int>& labels) override;
+
+  std::vector<double> score(const tensor::Matrix& X) const override;
+  std::vector<int> predict(const tensor::Matrix& X) const override;
+
+  int majority() const noexcept { return majority_; }
+
+ private:
+  static int majority_of(const std::vector<int>& labels) noexcept;
+  int majority_ = 0;
+};
+
+}  // namespace prodigy::baselines

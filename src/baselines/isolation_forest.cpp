@@ -1,0 +1,144 @@
+#include "baselines/isolation_forest.hpp"
+
+#include "tensor/stats.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::baselines {
+
+double average_path_length(std::size_t n) noexcept {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double nd = static_cast<double>(n);
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  return 2.0 * (std::log(nd - 1.0) + kEulerMascheroni) - 2.0 * (nd - 1.0) / nd;
+}
+
+std::int32_t IsolationForest::build_node(Tree& tree, const tensor::Matrix& X,
+                                         std::vector<std::size_t>& rows,
+                                         std::size_t depth, std::size_t max_depth,
+                                         util::Rng& rng) {
+  const auto index = static_cast<std::int32_t>(tree.nodes.size());
+  tree.nodes.emplace_back();
+
+  if (rows.size() <= 1 || depth >= max_depth) {
+    tree.nodes[static_cast<std::size_t>(index)].size = rows.size();
+    return index;
+  }
+
+  // Pick a random feature with spread; give up after a few tries (leaf).
+  int feature = -1;
+  double lo = 0.0, hi = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto candidate = static_cast<int>(rng.uniform_index(X.cols()));
+    lo = hi = X(rows[0], static_cast<std::size_t>(candidate));
+    for (const auto r : rows) {
+      lo = std::min(lo, X(r, static_cast<std::size_t>(candidate)));
+      hi = std::max(hi, X(r, static_cast<std::size_t>(candidate)));
+    }
+    if (hi > lo) {
+      feature = candidate;
+      break;
+    }
+  }
+  if (feature < 0) {
+    tree.nodes[static_cast<std::size_t>(index)].size = rows.size();
+    return index;
+  }
+
+  const double split = rng.uniform(lo, hi);
+  std::vector<std::size_t> left_rows, right_rows;
+  for (const auto r : rows) {
+    (X(r, static_cast<std::size_t>(feature)) < split ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) {
+    tree.nodes[static_cast<std::size_t>(index)].size = rows.size();
+    return index;
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const auto left = build_node(tree, X, left_rows, depth + 1, max_depth, rng);
+  const auto right = build_node(tree, X, right_rows, depth + 1, max_depth, rng);
+  Node& node = tree.nodes[static_cast<std::size_t>(index)];
+  node.feature = feature;
+  node.split = split;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+void IsolationForest::fit(const tensor::Matrix& X, const std::vector<int>& labels) {
+  if (X.rows() == 0) throw std::invalid_argument("IsolationForest::fit: empty data");
+  (void)labels;  // contaminated training data is handled by the algorithm
+
+  const std::size_t psi = std::min(config_.max_samples, X.rows());
+  c_psi_ = std::max(1e-12, average_path_length(psi));
+  const auto max_depth =
+      static_cast<std::size_t>(std::ceil(std::log2(std::max<std::size_t>(2, psi))));
+
+  util::Rng rng(config_.seed);
+  trees_.assign(config_.n_estimators, Tree{});
+  std::vector<util::Rng> tree_rngs;
+  tree_rngs.reserve(config_.n_estimators);
+  for (std::size_t t = 0; t < config_.n_estimators; ++t) tree_rngs.push_back(rng.fork());
+
+  util::parallel_for(0, config_.n_estimators, [&](std::size_t t) {
+    util::Rng& tree_rng = tree_rngs[t];
+    // Subsample psi rows without replacement (partial Fisher-Yates).
+    std::vector<std::size_t> all(X.rows());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    for (std::size_t i = 0; i < psi; ++i) {
+      std::swap(all[i], all[i + tree_rng.uniform_index(all.size() - i)]);
+    }
+    std::vector<std::size_t> rows(all.begin(),
+                                  all.begin() + static_cast<std::ptrdiff_t>(psi));
+    build_node(trees_[t], X, rows, 0, max_depth, tree_rng);
+  });
+
+  // Contamination threshold: the (1 - contamination) quantile of training
+  // scores, matching scikit-learn's offset semantics.
+  const auto scores = score(X);
+  threshold_ = tensor::quantile(scores, 1.0 - config_.contamination);
+}
+
+double IsolationForest::path_length(const Tree& tree, std::span<const double> x) const {
+  std::size_t depth = 0;
+  std::int32_t index = 0;
+  for (;;) {
+    const Node& node = tree.nodes[static_cast<std::size_t>(index)];
+    if (node.feature < 0) {
+      return static_cast<double>(depth) + average_path_length(node.size);
+    }
+    index = x[static_cast<std::size_t>(node.feature)] < node.split ? node.left
+                                                                   : node.right;
+    ++depth;
+  }
+}
+
+std::vector<double> IsolationForest::score(const tensor::Matrix& X) const {
+  if (trees_.empty()) throw std::logic_error("IsolationForest::score before fit");
+  std::vector<double> scores(X.rows());
+  util::parallel_for(0, X.rows(), [&](std::size_t r) {
+    double total = 0.0;
+    for (const auto& tree : trees_) total += path_length(tree, X.row(r));
+    const double mean_path = total / static_cast<double>(trees_.size());
+    scores[r] = std::pow(2.0, -mean_path / c_psi_);
+  }, 16);
+  return scores;
+}
+
+std::vector<int> IsolationForest::predict(const tensor::Matrix& X) const {
+  const auto scores = score(X);
+  std::vector<int> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return predictions;
+}
+
+}  // namespace prodigy::baselines

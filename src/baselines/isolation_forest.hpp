@@ -1,0 +1,65 @@
+// Isolation Forest baseline (Liu et al.; paper §5.3): an ensemble of random
+// isolation trees.  Anomalies are isolated with fewer random splits, so the
+// expected path length over the ensemble yields the anomaly score
+// s(x) = 2^(-E[h(x)] / c(psi)).  Configured per §5.4.4: max_samples = 100,
+// contamination = 10%, scikit-learn defaults otherwise (100 trees).
+#pragma once
+
+#include "core/detector_iface.hpp"
+#include "util/rng.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace prodigy::baselines {
+
+struct IsolationForestConfig {
+  std::size_t n_estimators = 100;
+  std::size_t max_samples = 100;   // psi; paper sets 100
+  double contamination = 0.10;     // paper sets the training anomaly ratio
+  std::uint64_t seed = 13;
+};
+
+class IsolationForest final : public core::Detector {
+ public:
+  IsolationForest() = default;
+  explicit IsolationForest(IsolationForestConfig config) : config_(config) {}
+
+  std::string name() const override { return "Isolation Forest"; }
+
+  /// Trains on the full training set, anomalous rows included (the method
+  /// handles contaminated data; §5.4.4 keeps them in).
+  void fit(const tensor::Matrix& X, const std::vector<int>& labels) override;
+
+  std::vector<double> score(const tensor::Matrix& X) const override;
+  std::vector<int> predict(const tensor::Matrix& X) const override;
+
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double split = 0.0;
+    std::size_t size = 0;    // samples reaching a leaf
+    std::int32_t left = -1;  // child indices within the tree's node pool
+    std::int32_t right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  static std::int32_t build_node(Tree& tree, const tensor::Matrix& X,
+                                 std::vector<std::size_t>& rows, std::size_t depth,
+                                 std::size_t max_depth, util::Rng& rng);
+  double path_length(const Tree& tree, std::span<const double> x) const;
+
+  IsolationForestConfig config_;
+  std::vector<Tree> trees_;
+  double c_psi_ = 1.0;  // normalization c(max_samples)
+  double threshold_ = 0.5;
+};
+
+/// Average unsuccessful-search path length of a BST with n nodes, c(n).
+double average_path_length(std::size_t n) noexcept;
+
+}  // namespace prodigy::baselines

@@ -1,0 +1,123 @@
+#include "baselines/kmeans.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/stats.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace prodigy::baselines {
+
+namespace {
+
+std::pair<std::size_t, double> nearest_centroid(const tensor::Matrix& centroids,
+                                                std::span<const double> x) {
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d = tensor::squared_distance(x, centroids.row(c));
+    if (d < best_distance) {
+      best_distance = d;
+      best = c;
+    }
+  }
+  return {best, best_distance};
+}
+
+}  // namespace
+
+tensor::Matrix KMeansDetector::init_centroids(const tensor::Matrix& X,
+                                              util::Rng& rng) const {
+  const std::size_t k = std::min(config_.clusters, X.rows());
+  tensor::Matrix centroids(k, X.cols());
+  centroids.set_row(0, X.row(rng.uniform_index(X.rows())));
+
+  std::vector<double> min_distance(X.rows(), std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      const double d = tensor::squared_distance(X.row(r), centroids.row(c - 1));
+      min_distance[r] = std::min(min_distance[r], d);
+      total += min_distance[r];
+    }
+    // Sample proportionally to squared distance (k-means++).
+    double target = rng.uniform() * total;
+    std::size_t chosen = X.rows() - 1;
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      target -= min_distance[r];
+      if (target <= 0.0) {
+        chosen = r;
+        break;
+      }
+    }
+    centroids.set_row(c, X.row(chosen));
+  }
+  return centroids;
+}
+
+void KMeansDetector::fit(const tensor::Matrix& X, const std::vector<int>& labels) {
+  if (X.rows() == 0) throw std::invalid_argument("KMeansDetector::fit: empty data");
+  (void)labels;
+  util::Rng rng(config_.seed);
+  centroids_ = init_centroids(X, rng);
+  const std::size_t k = centroids_.rows();
+
+  std::vector<std::size_t> assignment(X.rows(), 0);
+  for (iterations_run_ = 0; iterations_run_ < config_.max_iterations;
+       ++iterations_run_) {
+    // Assignment step.
+    util::parallel_for(0, X.rows(), [&](std::size_t r) {
+      assignment[r] = nearest_centroid(centroids_, X.row(r)).first;
+    }, 32);
+
+    // Update step.
+    tensor::Matrix sums(k, X.cols());
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      const auto row = X.row(r);
+      double* sum_row = sums.data() + assignment[r] * X.cols();
+      for (std::size_t c = 0; c < X.cols(); ++c) sum_row[c] += row[c];
+      ++counts[assignment[r]];
+    }
+    double shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on a random point.
+        sums.set_row(c, X.row(rng.uniform_index(X.rows())));
+        counts[c] = 1;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      double* sum_row = sums.data() + c * X.cols();
+      for (std::size_t j = 0; j < X.cols(); ++j) sum_row[j] *= inv;
+      shift += tensor::squared_distance(sums.row(c), centroids_.row(c));
+    }
+    centroids_ = std::move(sums);
+    if (shift < config_.tolerance) break;
+  }
+
+  const auto scores = score(X);
+  threshold_ = tensor::quantile(scores, 1.0 - config_.contamination);
+}
+
+std::vector<double> KMeansDetector::score(const tensor::Matrix& X) const {
+  if (centroids_.empty()) throw std::logic_error("KMeansDetector::score before fit");
+  std::vector<double> scores(X.rows());
+  util::parallel_for(0, X.rows(), [&](std::size_t r) {
+    scores[r] = std::sqrt(nearest_centroid(centroids_, X.row(r)).second);
+  }, 32);
+  return scores;
+}
+
+std::vector<int> KMeansDetector::predict(const tensor::Matrix& X) const {
+  const auto scores = score(X);
+  std::vector<int> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return predictions;
+}
+
+}  // namespace prodigy::baselines

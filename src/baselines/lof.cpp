@@ -1,0 +1,110 @@
+#include "baselines/lof.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/stats.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace prodigy::baselines {
+
+namespace {
+constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
+}
+
+LocalOutlierFactor::Neighbourhood LocalOutlierFactor::knn(std::span<const double> x,
+                                                          std::size_t exclude) const {
+  const std::size_t n = train_.rows();
+  const std::size_t k = std::min(config_.n_neighbors, n > 1 ? n - 1 : n);
+
+  // Max-heap over (distance, index) pairs of size k.
+  std::vector<std::pair<double, std::size_t>> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    const double d = tensor::euclidean_distance(x, train_.row(i));
+    if (heap.size() < k) {
+      heap.emplace_back(d, i);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d, i};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+
+  Neighbourhood result;
+  result.indices.reserve(heap.size());
+  result.distances.reserve(heap.size());
+  for (const auto& [distance, index] : heap) {
+    result.indices.push_back(index);
+    result.distances.push_back(distance);
+  }
+  return result;
+}
+
+void LocalOutlierFactor::fit(const tensor::Matrix& X, const std::vector<int>& labels) {
+  if (X.rows() < 2) throw std::invalid_argument("LocalOutlierFactor::fit: too few rows");
+  (void)labels;  // contaminated training data stays in (§5.4.4)
+  train_ = X;
+
+  const std::size_t n = train_.rows();
+  std::vector<Neighbourhood> neighbourhoods(n);
+  k_distance_.assign(n, 0.0);
+  util::parallel_for(0, n, [&](std::size_t i) {
+    neighbourhoods[i] = knn(train_.row(i), i);
+    k_distance_[i] = neighbourhoods[i].distances.empty()
+                         ? 0.0
+                         : neighbourhoods[i].distances.back();
+  }, 4);
+
+  // Local reachability density of every training point.  A tiny floor on the
+  // reachability sum keeps densities finite for duplicate-heavy data
+  // (mirrors scikit-learn's 1e-10 guard).
+  lrd_.assign(n, 0.0);
+  util::parallel_for(0, n, [&](std::size_t i) {
+    const auto& nb = neighbourhoods[i];
+    double reach_sum = 0.0;
+    for (std::size_t j = 0; j < nb.indices.size(); ++j) {
+      reach_sum += std::max(nb.distances[j], k_distance_[nb.indices[j]]);
+    }
+    lrd_[i] = static_cast<double>(nb.indices.size()) / std::max(reach_sum, 1e-10);
+  }, 16);
+
+  const auto train_scores = score(train_);
+  threshold_ = tensor::quantile(train_scores, 1.0 - config_.contamination);
+}
+
+std::vector<double> LocalOutlierFactor::score(const tensor::Matrix& X) const {
+  if (train_.empty()) throw std::logic_error("LocalOutlierFactor::score before fit");
+  std::vector<double> scores(X.rows(), 0.0);
+  util::parallel_for(0, X.rows(), [&](std::size_t r) {
+    const auto nb = knn(X.row(r), kNoExclude);
+    if (nb.indices.empty()) return;
+    double reach_sum = 0.0;
+    double neighbour_lrd_sum = 0.0;
+    for (std::size_t j = 0; j < nb.indices.size(); ++j) {
+      reach_sum += std::max(nb.distances[j], k_distance_[nb.indices[j]]);
+      neighbour_lrd_sum += lrd_[nb.indices[j]];
+    }
+    const double k = static_cast<double>(nb.indices.size());
+    const double lrd_x = k / std::max(reach_sum, 1e-10);
+    scores[r] = (neighbour_lrd_sum / k) / lrd_x;
+  }, 4);
+  return scores;
+}
+
+std::vector<int> LocalOutlierFactor::predict(const tensor::Matrix& X) const {
+  const auto scores = score(X);
+  std::vector<int> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return predictions;
+}
+
+}  // namespace prodigy::baselines

@@ -1,0 +1,51 @@
+// Local Outlier Factor baseline (Breunig et al.; paper §5.3): density-based
+// outlier scoring.  For each point, the local reachability density is
+// compared with that of its k nearest neighbours; LOF >> 1 marks points in
+// sparser regions than their neighbourhood.  Used in novelty mode: fitted on
+// the training set (anomalous rows included, §5.4.4), scoring new points
+// against the training neighbourhood, with a contamination-quantile
+// threshold.
+#pragma once
+
+#include "core/detector_iface.hpp"
+
+#include <vector>
+
+namespace prodigy::baselines {
+
+struct LofConfig {
+  std::size_t n_neighbors = 20;  // scikit-learn default
+  double contamination = 0.10;   // paper §5.4.4
+};
+
+class LocalOutlierFactor final : public core::Detector {
+ public:
+  LocalOutlierFactor() = default;
+  explicit LocalOutlierFactor(LofConfig config) : config_(config) {}
+
+  std::string name() const override { return "Local Outlier Factor"; }
+
+  void fit(const tensor::Matrix& X, const std::vector<int>& labels) override;
+  std::vector<double> score(const tensor::Matrix& X) const override;
+  std::vector<int> predict(const tensor::Matrix& X) const override;
+
+  double threshold() const noexcept { return threshold_; }
+
+ private:
+  struct Neighbourhood {
+    std::vector<std::size_t> indices;  // k nearest training rows
+    std::vector<double> distances;     // matching distances (ascending)
+  };
+
+  /// k nearest training rows to `x`; `exclude` skips one training index
+  /// (self-exclusion during fit), pass npos otherwise.
+  Neighbourhood knn(std::span<const double> x, std::size_t exclude) const;
+
+  LofConfig config_;
+  tensor::Matrix train_;
+  std::vector<double> k_distance_;  // per training row
+  std::vector<double> lrd_;         // local reachability density per row
+  double threshold_ = 1.5;
+};
+
+}  // namespace prodigy::baselines

@@ -1,0 +1,143 @@
+#include "baselines/pca.hpp"
+
+#include "eval/metrics.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/stats.hpp"
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::baselines {
+
+namespace {
+
+/// y = C * x for the centered data matrix held implicitly: C = X^T X / n.
+/// Computed as X^T (X x) to stay O(n*d) per product.
+std::vector<double> covariance_product(const tensor::Matrix& centered,
+                                       std::span<const double> x) {
+  const std::size_t n = centered.rows();
+  const std::size_t d = centered.cols();
+  std::vector<double> projected(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = centered.data() + i * d;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) acc += row[j] * x[j];
+    projected[i] = acc;
+  }
+  std::vector<double> result(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = centered.data() + i * d;
+    const double scale = projected[i] / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) result[j] += scale * row[j];
+  }
+  return result;
+}
+
+double norm(std::span<const double> x) {
+  double acc = 0.0;
+  for (const double v : x) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+void PcaDetector::fit(const tensor::Matrix& X, const std::vector<int>& labels) {
+  if (X.rows() != labels.size()) {
+    throw std::invalid_argument("PcaDetector::fit: rows != labels");
+  }
+  std::vector<std::size_t> healthy;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 0) healthy.push_back(i);
+  }
+  if (healthy.empty()) throw std::invalid_argument("PcaDetector::fit: no healthy rows");
+  fit_healthy(X.select_rows(healthy));
+}
+
+void PcaDetector::fit_healthy(const tensor::Matrix& X) {
+  if (X.rows() < 2) throw std::invalid_argument("PcaDetector::fit_healthy: too few rows");
+  const std::size_t d = X.cols();
+  const std::size_t k = std::min({config_.components, d, X.rows() - 1});
+
+  // Center.
+  mean_.assign(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) mean_[j] = tensor::mean(X.column(j));
+  tensor::Matrix centered = X;
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    double* row = centered.data() + i * d;
+    for (std::size_t j = 0; j < d; ++j) row[j] -= mean_[j];
+  }
+
+  // Orthogonal power iteration with deflation via Gram-Schmidt against the
+  // components found so far.
+  util::Rng rng(config_.seed);
+  components_ = tensor::Matrix(k, d);
+  eigenvalues_.assign(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> v(d);
+    for (auto& value : v) value = rng.gaussian();
+    for (std::size_t iter = 0; iter < config_.power_iterations; ++iter) {
+      auto w = covariance_product(centered, v);
+      // Deflate: remove projections onto previous components.
+      for (std::size_t p = 0; p < c; ++p) {
+        const auto prev = components_.row(p);
+        double dot = 0.0;
+        for (std::size_t j = 0; j < d; ++j) dot += w[j] * prev[j];
+        for (std::size_t j = 0; j < d; ++j) w[j] -= dot * prev[j];
+      }
+      const double length = norm(w);
+      if (length < 1e-14) break;  // exhausted variance
+      for (std::size_t j = 0; j < d; ++j) w[j] /= length;
+      v = std::move(w);
+    }
+    // Rayleigh quotient = eigenvalue.
+    const auto cv = covariance_product(centered, v);
+    double lambda = 0.0;
+    for (std::size_t j = 0; j < d; ++j) lambda += v[j] * cv[j];
+    eigenvalues_[c] = std::max(0.0, lambda);
+    components_.set_row(c, v);
+  }
+
+  const auto scores = score(X);
+  threshold_ = tensor::quantile(scores, 0.99);  // like Prodigy's 99th pct
+}
+
+std::vector<double> PcaDetector::score(const tensor::Matrix& X) const {
+  if (components_.empty()) throw std::logic_error("PcaDetector::score before fit");
+  const std::size_t d = X.cols();
+  if (d != mean_.size()) throw std::invalid_argument("PcaDetector::score: width mismatch");
+
+  std::vector<double> scores(X.rows(), 0.0);
+  for (std::size_t i = 0; i < X.rows(); ++i) {
+    // Residual = ||x_c||^2 - sum_k <x_c, v_k>^2  (components orthonormal).
+    std::vector<double> xc(d);
+    const auto row = X.row(i);
+    for (std::size_t j = 0; j < d; ++j) xc[j] = row[j] - mean_[j];
+    double total = 0.0;
+    for (const double v : xc) total += v * v;
+    double captured = 0.0;
+    for (std::size_t c = 0; c < components_.rows(); ++c) {
+      const auto component = components_.row(c);
+      double dot = 0.0;
+      for (std::size_t j = 0; j < d; ++j) dot += xc[j] * component[j];
+      captured += dot * dot;
+    }
+    scores[i] = std::sqrt(std::max(0.0, total - captured) / static_cast<double>(d));
+  }
+  return scores;
+}
+
+std::vector<int> PcaDetector::predict(const tensor::Matrix& X) const {
+  const auto scores = score(X);
+  std::vector<int> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] > threshold_ ? 1 : 0;
+  }
+  return predictions;
+}
+
+void PcaDetector::tune(const tensor::Matrix& X, const std::vector<int>& labels) {
+  threshold_ = eval::best_threshold_by_f1(score(X), labels).best_threshold;
+}
+
+}  // namespace prodigy::baselines

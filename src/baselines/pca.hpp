@@ -1,0 +1,50 @@
+// PCA-reconstruction detector: the classic linear counterpart of the VAE.
+// Projects onto the top-k principal components (computed by orthogonal power
+// iteration on the covariance) and scores samples by the reconstruction
+// error outside that subspace.  Serves as the "is a *nonlinear* encoder even
+// needed?" ablation the Prodigy design implies (§3.3 motivates VAEs over
+// simpler representations).
+#pragma once
+
+#include "core/detector_iface.hpp"
+
+#include <vector>
+
+namespace prodigy::baselines {
+
+struct PcaConfig {
+  std::size_t components = 8;
+  std::size_t power_iterations = 60;
+  double contamination = 0.10;
+  std::uint64_t seed = 37;
+};
+
+class PcaDetector final : public core::Detector {
+ public:
+  PcaDetector() = default;
+  explicit PcaDetector(PcaConfig config) : config_(config) {}
+
+  std::string name() const override { return "PCA Reconstruction"; }
+
+  /// Fits on the healthy rows only (like Prodigy/USAD, §5.4.4).
+  void fit(const tensor::Matrix& X, const std::vector<int>& labels) override;
+  void fit_healthy(const tensor::Matrix& X);
+
+  std::vector<double> score(const tensor::Matrix& X) const override;
+  std::vector<int> predict(const tensor::Matrix& X) const override;
+  void tune(const tensor::Matrix& X, const std::vector<int>& labels) override;
+
+  const std::vector<double>& explained_variance() const noexcept {
+    return eigenvalues_;
+  }
+  std::size_t components() const noexcept { return components_.rows(); }
+
+ private:
+  PcaConfig config_;
+  std::vector<double> mean_;        // (D)
+  tensor::Matrix components_;       // (K x D), orthonormal rows
+  std::vector<double> eigenvalues_; // (K), descending
+  double threshold_ = 0.0;
+};
+
+}  // namespace prodigy::baselines

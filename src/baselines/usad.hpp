@@ -1,0 +1,77 @@
+// USAD baseline (Audibert et al., KDD'20; paper §5.3): two autoencoders
+// sharing an encoder, trained adversarially.
+//
+//   AE1(x) = D1(E(x)),  AE2(x) = D2(E(x)),  AE2(AE1(x)) = D2(E(D1(E(x))))
+//   L_AE1 = 1/n * ||x - AE1(x)||^2 + (1 - 1/n) * ||x - AE2(AE1(x))||^2
+//   L_AE2 = 1/n * ||x - AE2(x)||^2 - (1 - 1/n) * ||x - AE2(AE1(x))||^2
+//
+// where n is the (1-indexed) epoch.  Score: alpha * ||x - AE1(x)||^2 +
+// beta * ||x - AE2(AE1(x))||^2.  As in the paper's §5.4.4 adaptation, inputs
+// are selected/scaled statistical features rather than raw windows.
+//
+// Faithfulness note: gradients of the composite term are propagated through
+// the inner reconstruction chain but stopped at the AE1 output (the
+// re-encoded input is treated as data).  This is a common simplification of
+// the reference implementation's alternating optimization and preserves the
+// adversarial dynamics.
+#pragma once
+
+#include "core/detector_iface.hpp"
+#include "nn/mlp.hpp"
+#include "nn/trainer.hpp"
+
+#include <optional>
+
+namespace prodigy::baselines {
+
+struct UsadConfig {
+  std::size_t input_dim = 0;  // 0 = set from data
+  std::size_t hidden = 200;   // Table 3 optimum
+  std::size_t latent = 32;
+  double alpha = 0.5;         // Table 3 optimum
+  double beta = 0.5;
+  nn::TrainOptions train;
+  double threshold_percentile = 99.0;
+
+  UsadConfig() {
+    // Table 3 optima: batch 256, epochs 100.  Scaled defaults; benches
+    // expose flags.
+    train.learning_rate = 1e-3;
+    train.batch_size = 64;
+    train.epochs = 100;
+    train.validation_split = 0.2;
+  }
+};
+
+class Usad final : public core::Detector {
+ public:
+  Usad() = default;
+  explicit Usad(UsadConfig config) : config_(std::move(config)) {}
+
+  std::string name() const override { return "USAD"; }
+
+  /// Trains on the healthy rows only (anomalous rows removed, §5.4.4).
+  void fit(const tensor::Matrix& X, const std::vector<int>& labels) override;
+  void fit_healthy(const tensor::Matrix& X);
+
+  std::vector<double> score(const tensor::Matrix& X) const override;
+  std::vector<int> predict(const tensor::Matrix& X) const override;
+  void tune(const tensor::Matrix& X, const std::vector<int>& labels) override;
+
+  double threshold() const noexcept { return threshold_; }
+  const nn::TrainHistory& history() const noexcept { return history_; }
+
+ private:
+  struct Nets {
+    nn::Mlp encoder;
+    nn::Mlp decoder1;
+    nn::Mlp decoder2;
+  };
+
+  UsadConfig config_;
+  std::optional<Nets> nets_;
+  nn::TrainHistory history_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace prodigy::baselines

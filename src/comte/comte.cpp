@@ -1,0 +1,310 @@
+#include "comte/comte.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace prodigy::comte {
+
+std::string metric_of_feature(const std::string& feature_name) {
+  // "<Metric>::<sampler>::<feature>" -> "<Metric>::<sampler>".
+  const auto first = feature_name.find("::");
+  if (first == std::string::npos) return feature_name;
+  const auto second = feature_name.find("::", first + 2);
+  if (second == std::string::npos) return feature_name;
+  return feature_name.substr(0, second);
+}
+
+ThresholdModelAdapter::ThresholdModelAdapter(const core::Detector& detector,
+                                             double threshold, double scale)
+    : detector_(detector), threshold_(threshold),
+      scale_(scale > 0.0 ? scale : 1e-6) {}
+
+double ThresholdModelAdapter::anomaly_margin(std::span<const double> x) const {
+  tensor::Matrix row(1, x.size());
+  row.set_row(0, x);
+  const double score = detector_.score(row).at(0);
+  return (score - threshold_) / scale_;
+}
+
+double ThresholdModelAdapter::anomaly_probability(std::span<const double> x) const {
+  return 1.0 / (1.0 + std::exp(-anomaly_margin(x)));
+}
+
+double ThresholdModelAdapter::estimate_scale(
+    const std::vector<double>& reference_scores) {
+  // A quarter of the IQR gives a logistic that saturates just outside the
+  // healthy score band.
+  std::vector<double> sorted(reference_scores);
+  std::sort(sorted.begin(), sorted.end());
+  const double iqr = tensor::quantile_sorted(sorted, 0.75) -
+                     tensor::quantile_sorted(sorted, 0.25);
+  const double fallback = tensor::stddev(sorted);
+  const double scale = iqr > 0.0 ? iqr / 4.0 : fallback;
+  return scale > 0.0 ? scale : 1e-3;
+}
+
+namespace {
+
+double logit(double p) {
+  const double clamped = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  return std::log(clamped / (1.0 - clamped));
+}
+
+double sigmoid(double margin) { return 1.0 / (1.0 + std::exp(-margin)); }
+
+}  // namespace
+
+ComteExplainer::ComteExplainer(const ProbabilityModel& model, tensor::Matrix train_X,
+                               std::vector<int> train_labels,
+                               const std::vector<std::string>& feature_names,
+                               ComteConfig config)
+    : model_(model), train_(std::move(train_X)), config_(config) {
+  if (train_.cols() != feature_names.size()) {
+    throw std::invalid_argument("ComteExplainer: feature_names size mismatch");
+  }
+  if (train_.rows() != train_labels.size()) {
+    throw std::invalid_argument("ComteExplainer: labels size mismatch");
+  }
+  for (std::size_t i = 0; i < train_labels.size(); ++i) {
+    if (train_labels[i] == 0) healthy_rows_.push_back(i);
+  }
+  if (healthy_rows_.empty()) {
+    throw std::invalid_argument("ComteExplainer: needs healthy training samples");
+  }
+
+  // Group columns by metric, preserving first-appearance order.
+  std::map<std::string, std::size_t> seen;
+  for (std::size_t c = 0; c < feature_names.size(); ++c) {
+    const std::string metric = metric_of_feature(feature_names[c]);
+    auto [it, inserted] = seen.emplace(metric, metrics_.size());
+    if (inserted) {
+      metrics_.push_back(metric);
+      group_cols_.emplace_back();
+    }
+    group_cols_[it->second].push_back(c);
+  }
+}
+
+std::vector<std::size_t> ComteExplainer::rank_distractors(
+    std::span<const double> x) const {
+  // Prefer healthy training samples the model itself classifies as healthy,
+  // nearest to x first (the original picks in-class neighbours).
+  struct Candidate {
+    std::size_t row;
+    double margin;
+    double distance;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(healthy_rows_.size());
+  for (const auto row : healthy_rows_) {
+    const auto features = train_.row(row);
+    candidates.push_back({row, model_.anomaly_margin(features),
+                          tensor::euclidean_distance(x, features)});
+  }
+  const double margin_target = logit(config_.decision_probability);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [margin_target](const Candidate& a, const Candidate& b) {
+                     const bool a_ok = a.margin < margin_target;
+                     const bool b_ok = b.margin < margin_target;
+                     if (a_ok != b_ok) return a_ok;
+                     return a.distance < b.distance;
+                   });
+  std::vector<std::size_t> rows;
+  const std::size_t keep = std::min(config_.distractor_candidates, candidates.size());
+  rows.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) rows.push_back(candidates[i].row);
+  return rows;
+}
+
+std::vector<double> ComteExplainer::substitute(
+    std::span<const double> x, std::size_t distractor,
+    const std::vector<std::size_t>& metric_ids) const {
+  std::vector<double> result(x.begin(), x.end());
+  for (const auto id : metric_ids) {
+    for (const auto col : group_cols_[id]) {
+      result[col] = train_(distractor, col);
+    }
+  }
+  return result;
+}
+
+Explanation ComteExplainer::finalize(std::span<const double> x,
+                                     std::size_t distractor,
+                                     std::vector<std::size_t> metric_ids,
+                                     double original_margin, double final_margin,
+                                     std::size_t evaluations) const {
+  Explanation explanation;
+  explanation.success = final_margin < logit(config_.decision_probability);
+  explanation.distractor_row = distractor;
+  explanation.original_probability = sigmoid(original_margin);
+  explanation.final_probability = sigmoid(final_margin);
+  explanation.evaluations = evaluations;
+  for (const auto id : metric_ids) {
+    MetricChange change;
+    change.metric = metrics_[id];
+    double delta = 0.0;
+    for (const auto col : group_cols_[id]) {
+      delta += train_(distractor, col) - x[col];
+    }
+    change.mean_delta = delta / static_cast<double>(group_cols_[id].size());
+    explanation.changes.push_back(std::move(change));
+  }
+  return explanation;
+}
+
+Explanation ComteExplainer::explain_brute_force(std::span<const double> x) const {
+  const double original_margin = model_.anomaly_margin(x);
+  const double margin_target = logit(config_.decision_probability);
+  std::size_t evaluations = 1;
+
+  double best_margin = original_margin;
+  std::size_t best_distractor = healthy_rows_.front();
+  std::vector<std::size_t> best_set;
+
+  const auto distractors = rank_distractors(x);
+  evaluations += healthy_rows_.size();
+  const std::size_t m = metrics_.size();
+
+  auto try_set = [&](std::size_t distractor, const std::vector<std::size_t>& set) {
+    const auto candidate = substitute(x, distractor, set);
+    const double margin = model_.anomaly_margin(candidate);
+    ++evaluations;
+    // Prefer flips with fewer metrics, then lower margin.
+    const bool flips = margin < margin_target;
+    const bool best_flips = best_margin < margin_target;
+    const bool better =
+        (flips && !best_flips) ||
+        (flips == best_flips &&
+         ((set.size() < best_set.size() || best_set.empty()) && margin < best_margin)) ||
+        (flips == best_flips && set.size() == best_set.size() && margin < best_margin);
+    if (better) {
+      best_margin = margin;
+      best_distractor = distractor;
+      best_set = set;
+    }
+    return flips;
+  };
+
+  for (const auto distractor : distractors) {
+    bool flipped = false;
+    // Level 1: single metrics.
+    for (std::size_t a = 0; a < m; ++a) {
+      flipped |= try_set(distractor, {a});
+    }
+    if (flipped || config_.max_metrics < 2) continue;
+    // Level 2: all pairs.
+    for (std::size_t a = 0; a < m && !flipped; ++a) {
+      for (std::size_t b = a + 1; b < m; ++b) {
+        flipped |= try_set(distractor, {a, b});
+      }
+    }
+    if (flipped || config_.max_metrics < 3) continue;
+    // Level 3+: extend the current best set greedily rather than exhaustively.
+    while (!flipped && best_set.size() < config_.max_metrics &&
+           best_set.size() >= 2) {
+      const auto frozen = best_set;
+      bool extended = false;
+      for (std::size_t c = 0; c < m && !flipped; ++c) {
+        if (std::find(frozen.begin(), frozen.end(), c) != frozen.end()) continue;
+        auto trial = frozen;
+        trial.push_back(c);
+        const double before = best_margin;
+        flipped |= try_set(distractor, trial);
+        extended |= best_margin < before;
+      }
+      if (!extended) break;
+    }
+    if (flipped) break;
+  }
+
+  return finalize(x, best_distractor, best_set, original_margin, best_margin,
+                  evaluations);
+}
+
+Explanation ComteExplainer::explain_optimized(std::span<const double> x) const {
+  const double original_margin = model_.anomaly_margin(x);
+  const double margin_target = logit(config_.decision_probability);
+  std::size_t evaluations = 1;
+  util::Rng rng(config_.seed);
+
+  const auto distractors = rank_distractors(x);
+  evaluations += healthy_rows_.size();
+
+  double best_margin = original_margin;
+  std::size_t best_distractor = healthy_rows_.front();
+  std::vector<std::size_t> best_set;
+
+  const std::size_t restarts = std::max<std::size_t>(1, config_.restarts);
+  for (std::size_t restart = 0; restart < restarts; ++restart) {
+    const std::size_t distractor = distractors[restart % distractors.size()];
+    std::vector<std::size_t> chosen;
+    double current_margin = original_margin;
+
+    // Greedy: repeatedly add the substitution with the largest margin drop,
+    // visiting metrics in a shuffled order so restarts explore ties.
+    while (chosen.size() < config_.max_metrics && current_margin >= margin_target) {
+      const auto order = rng.permutation(metrics_.size());
+      double step_best_margin = current_margin;
+      std::vector<std::size_t> step_best_addition;
+      for (const auto id : order) {
+        if (std::find(chosen.begin(), chosen.end(), id) != chosen.end()) continue;
+        auto trial = chosen;
+        trial.push_back(id);
+        const double margin =
+            model_.anomaly_margin(substitute(x, distractor, trial));
+        ++evaluations;
+        if (margin < step_best_margin) {
+          step_best_margin = margin;
+          step_best_addition = {id};
+        }
+      }
+      if (step_best_addition.empty() && chosen.size() + 2 <= config_.max_metrics) {
+        // Plateau (e.g. the prediction is driven by the max over several
+        // metrics): no single substitution helps — try pairs.
+        for (std::size_t a = 0; a < metrics_.size(); ++a) {
+          if (std::find(chosen.begin(), chosen.end(), a) != chosen.end()) continue;
+          for (std::size_t b = a + 1; b < metrics_.size(); ++b) {
+            if (std::find(chosen.begin(), chosen.end(), b) != chosen.end()) continue;
+            auto trial = chosen;
+            trial.push_back(a);
+            trial.push_back(b);
+            const double margin =
+                model_.anomaly_margin(substitute(x, distractor, trial));
+            ++evaluations;
+            if (margin < step_best_margin) {
+              step_best_margin = margin;
+              step_best_addition = {a, b};
+            }
+          }
+        }
+      }
+      if (step_best_addition.empty()) break;  // no improvement possible
+      chosen.insert(chosen.end(), step_best_addition.begin(),
+                    step_best_addition.end());
+      current_margin = step_best_margin;
+    }
+
+    const bool flips = current_margin < margin_target;
+    const bool best_flips = best_margin < margin_target;
+    if ((flips && !best_flips) ||
+        (flips == best_flips &&
+         (chosen.size() < best_set.size() ||
+          (chosen.size() == best_set.size() && current_margin < best_margin) ||
+          best_set.empty()))) {
+      best_margin = current_margin;
+      best_set = chosen;
+      best_distractor = distractor;
+    }
+    if (flips && best_set.size() == 1) break;  // cannot do better than one metric
+  }
+
+  return finalize(x, best_distractor, best_set, original_margin, best_margin,
+                  evaluations);
+}
+
+}  // namespace prodigy::comte

@@ -1,0 +1,127 @@
+// CoMTE: Counterfactual Explanations for Multivariate Time Series
+// (Ates et al., ICAPAI'21), applied to anomaly predictions (paper §4.4).
+//
+// Given a sample classified anomalous, find (1) a *distractor* — a healthy
+// training sample — and (2) the minimum set of metrics whose feature columns,
+// substituted from the distractor, flip the classification to healthy.
+//
+// Prodigy predicts from a reconstruction-error threshold rather than class
+// probabilities, so (as §5.4.4 describes) the search classes are adapted:
+// ThresholdModelAdapter maps any Detector's score to a pseudo-probability
+// with a logistic centered on the decision threshold.
+#pragma once
+
+#include "core/detector_iface.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prodigy::comte {
+
+/// CoMTE requires a model that returns classification probabilities.
+class ProbabilityModel {
+ public:
+  virtual ~ProbabilityModel() = default;
+  /// P(anomalous | x) for a single sample in model-input space.
+  virtual double anomaly_probability(std::span<const double> x) const = 0;
+
+  /// Monotone decision margin; > 0 means anomalous.  The search ranks
+  /// candidate substitutions by this value because probabilities saturate in
+  /// double precision for strong anomalies (sigmoid(45) == 1.0), which would
+  /// blind a greedy search.  The default derives it from the probability;
+  /// threshold models should return an unbounded raw margin.
+  virtual double anomaly_margin(std::span<const double> x) const {
+    return anomaly_probability(x) - 0.5;
+  }
+};
+
+/// Adapts a threshold Detector: sigmoid((score - threshold) / scale).
+class ThresholdModelAdapter final : public ProbabilityModel {
+ public:
+  /// `scale` controls the logistic steepness; estimate_scale() derives a
+  /// reasonable value from the score spread of a reference set.
+  ThresholdModelAdapter(const core::Detector& detector, double threshold,
+                        double scale);
+
+  double anomaly_probability(std::span<const double> x) const override;
+
+  /// Raw margin (score - threshold) / scale — never saturates.
+  double anomaly_margin(std::span<const double> x) const override;
+
+  static double estimate_scale(const std::vector<double>& reference_scores);
+
+ private:
+  const core::Detector& detector_;
+  double threshold_;
+  double scale_;
+};
+
+/// One substituted metric and how the distractor differs on it (mean feature
+/// delta; negative = "would be healthy if this metric were lower").
+struct MetricChange {
+  std::string metric;
+  double mean_delta = 0.0;  // distractor features - sample features
+};
+
+struct Explanation {
+  bool success = false;
+  std::vector<MetricChange> changes;   // minimal metric set, most important first
+  std::size_t distractor_row = 0;      // row in the healthy training matrix
+  double original_probability = 0.0;
+  double final_probability = 0.0;
+  std::size_t evaluations = 0;         // model calls spent
+};
+
+struct ComteConfig {
+  std::size_t max_metrics = 3;          // explanation size cap
+  std::size_t distractor_candidates = 5;
+  std::size_t restarts = 4;             // OptimizedSearch random restarts
+  double decision_probability = 0.5;    // flip target
+  std::uint64_t seed = 17;
+};
+
+class ComteExplainer {
+ public:
+  /// `train_X` is the (scaled, column-selected) training matrix the model was
+  /// fitted on; `train_labels` its ground truth; `feature_names` the matching
+  /// column names of the form "<Metric>::<sampler>::<feature>".
+  ComteExplainer(const ProbabilityModel& model, tensor::Matrix train_X,
+                 std::vector<int> train_labels,
+                 const std::vector<std::string>& feature_names,
+                 ComteConfig config = {});
+
+  /// Exhaustive search over single metrics, then pairs, then triples (up to
+  /// config.max_metrics), over the best distractor candidates.
+  Explanation explain_brute_force(std::span<const double> x) const;
+
+  /// Random-restart greedy search — the paper's OptimizedSearch.
+  Explanation explain_optimized(std::span<const double> x) const;
+
+  /// The distinct metric groups discovered from the feature names.
+  const std::vector<std::string>& metric_names() const noexcept { return metrics_; }
+
+ private:
+  std::vector<std::size_t> rank_distractors(std::span<const double> x) const;
+  std::vector<double> substitute(std::span<const double> x, std::size_t distractor,
+                                 const std::vector<std::size_t>& metric_ids) const;
+  Explanation finalize(std::span<const double> x, std::size_t distractor,
+                       std::vector<std::size_t> metric_ids, double original_p,
+                       double final_p, std::size_t evaluations) const;
+
+  const ProbabilityModel& model_;
+  tensor::Matrix train_;
+  std::vector<std::size_t> healthy_rows_;
+  ComteConfig config_;
+  std::vector<std::string> metrics_;                  // group names
+  std::vector<std::vector<std::size_t>> group_cols_;  // columns per group
+};
+
+/// Extracts the metric prefix ("MemFree::meminfo") from a full feature
+/// column name ("MemFree::meminfo::mean").
+std::string metric_of_feature(const std::string& feature_name);
+
+}  // namespace prodigy::comte

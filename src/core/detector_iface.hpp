@@ -1,0 +1,37 @@
+// Common interface for every anomaly-detection model in the repository —
+// Prodigy itself and all the §5.3 baselines — so the evaluation harness and
+// the deployment service treat them uniformly.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+#include <string>
+#include <vector>
+
+namespace prodigy::core {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains the model.  `labels` is the training ground truth; unsupervised
+  /// models may use it only to discard anomalous rows (as Prodigy and USAD
+  /// do, §5.4.4) or to honour a contamination ratio (IF/LOF); the heuristic
+  /// baselines use it directly.
+  virtual void fit(const tensor::Matrix& X, const std::vector<int>& labels) = 0;
+
+  /// Per-sample anomaly score; higher means more anomalous.
+  virtual std::vector<double> score(const tensor::Matrix& X) const = 0;
+
+  /// Binary predictions (1 = anomalous).
+  virtual std::vector<int> predict(const tensor::Matrix& X) const = 0;
+
+  /// Optional threshold calibration on a labeled set.  The paper (§5.4.4)
+  /// sweeps thresholds in 0.001 steps and keeps the macro-F1 maximizer for
+  /// Prodigy and USAD; models without a tunable threshold ignore this.
+  virtual void tune(const tensor::Matrix& /*X*/, const std::vector<int>& /*labels*/) {}
+};
+
+}  // namespace prodigy::core

@@ -1,0 +1,257 @@
+#include "core/vae.hpp"
+
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::core {
+
+namespace {
+
+constexpr std::uint64_t kVaeMagic = 0x50524f5456414531ULL;  // "PROTVAE1"
+constexpr double kLogvarClamp = 10.0;
+
+std::vector<nn::LayerSpec> hidden_specs(const std::vector<std::size_t>& sizes,
+                                        nn::Activation act) {
+  std::vector<nn::LayerSpec> specs;
+  specs.reserve(sizes.size());
+  for (const auto units : sizes) specs.push_back({units, act});
+  return specs;
+}
+
+}  // namespace
+
+VariationalAutoencoder::VariationalAutoencoder(const VaeConfig& config)
+    : config_(config) {
+  if (config.input_dim == 0) {
+    throw std::invalid_argument("VariationalAutoencoder: input_dim must be set");
+  }
+  if (config.encoder_hidden.empty()) {
+    throw std::invalid_argument("VariationalAutoencoder: need >= 1 hidden layer");
+  }
+  util::Rng rng(config.seed);
+
+  encoder_ = nn::Mlp(config.input_dim,
+                     hidden_specs(config.encoder_hidden, config.hidden_activation), rng);
+  const std::size_t hidden_out = config.encoder_hidden.back();
+  mu_head_ = nn::Dense(hidden_out, config.latent_dim, nn::Activation::Linear, rng);
+  logvar_head_ = nn::Dense(hidden_out, config.latent_dim, nn::Activation::Linear, rng);
+
+  // Mirrored decoder: latent -> reversed hidden -> input (linear output).
+  std::vector<std::size_t> decoder_sizes(config.encoder_hidden.rbegin(),
+                                         config.encoder_hidden.rend());
+  auto specs = hidden_specs(decoder_sizes, config.hidden_activation);
+  specs.push_back({config.input_dim, nn::Activation::Linear});
+  decoder_ = nn::Mlp(config.latent_dim, specs, rng);
+}
+
+std::size_t VariationalAutoencoder::parameter_count() const noexcept {
+  return encoder_.parameter_count() + mu_head_.parameter_count() +
+         logvar_head_.parameter_count() + decoder_.parameter_count();
+}
+
+VariationalAutoencoder::StepResult VariationalAutoencoder::forward_backward(
+    const tensor::Matrix& x, util::Rng& rng) {
+  // Forward.
+  const tensor::Matrix hidden = encoder_.forward(x);
+  const tensor::Matrix mu = mu_head_.forward(hidden);
+  const tensor::Matrix logvar = logvar_head_.forward(hidden);
+
+  tensor::Matrix eps(mu.rows(), mu.cols());
+  for (std::size_t i = 0; i < eps.size(); ++i) eps.data()[i] = rng.gaussian();
+
+  tensor::Matrix z = mu;
+  tensor::Matrix sigma(mu.rows(), mu.cols());
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double lv = std::clamp(logvar.data()[i], -kLogvarClamp, kLogvarClamp);
+    sigma.data()[i] = std::exp(0.5 * lv);
+    z.data()[i] += sigma.data()[i] * eps.data()[i];
+  }
+
+  const tensor::Matrix reconstruction = decoder_.forward(z);
+
+  // Losses.
+  const nn::LossResult recon = config_.recon_loss == ReconLoss::Mse
+                                   ? nn::mse_loss(reconstruction, x)
+                                   : nn::mae_loss(reconstruction, x);
+  const nn::KlResult kl = nn::gaussian_kl(mu, logvar);
+
+  // Backward through decoder to the latent sample.
+  const tensor::Matrix grad_z = decoder_.backward(recon.grad);
+
+  // Reparameterization: dL/dmu = dL/dz ; dL/dlogvar = dL/dz * 0.5*sigma*eps.
+  tensor::Matrix grad_mu = grad_z;
+  tensor::Matrix grad_logvar(grad_z.rows(), grad_z.cols());
+  for (std::size_t i = 0; i < grad_z.size(); ++i) {
+    grad_logvar.data()[i] =
+        grad_z.data()[i] * 0.5 * sigma.data()[i] * eps.data()[i];
+  }
+  // Plus the KL term's direct gradients.
+  for (std::size_t i = 0; i < grad_mu.size(); ++i) {
+    grad_mu.data()[i] += config_.kl_weight * kl.grad_mu.data()[i];
+    grad_logvar.data()[i] += config_.kl_weight * kl.grad_logvar.data()[i];
+  }
+
+  // Backward through the two heads into the shared encoder trunk.
+  tensor::Matrix grad_hidden = mu_head_.backward(grad_mu);
+  grad_hidden += logvar_head_.backward(grad_logvar);
+  encoder_.backward(grad_hidden);
+
+  return {recon.value, kl.value};
+}
+
+nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
+                                             const nn::TrainOptions& options) {
+  if (X.cols() != config_.input_dim) {
+    throw std::invalid_argument("VariationalAutoencoder::fit: input width " +
+                                std::to_string(X.cols()) + " != configured " +
+                                std::to_string(config_.input_dim));
+  }
+  util::Rng rng(options.seed);
+  nn::TrainHistory history;
+
+  // Validation carve-out (the paper uses an 80-20 train/validation split of
+  // the healthy samples to pick the operating threshold).
+  const auto perm = rng.permutation(X.rows());
+  std::size_t val_count = 0;
+  if (options.validation_split > 0.0 && X.rows() >= 4) {
+    val_count = std::min<std::size_t>(
+        static_cast<std::size_t>(options.validation_split * static_cast<double>(X.rows())),
+        X.rows() - 1);
+  }
+  const std::size_t train_count = X.rows() - val_count;
+  const tensor::Matrix train = X.select_rows(
+      {perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(train_count)});
+  const tensor::Matrix validation = X.select_rows(
+      {perm.begin() + static_cast<std::ptrdiff_t>(train_count), perm.end()});
+
+  nn::Adam optimizer(options.learning_rate);
+  encoder_.register_with(optimizer);
+  optimizer.register_parameters({mu_head_.weights().data(),
+                                 mu_head_.weight_grad().data(),
+                                 mu_head_.weights().size()});
+  optimizer.register_parameters({mu_head_.bias().data(), mu_head_.bias_grad().data(),
+                                 mu_head_.bias().size()});
+  optimizer.register_parameters({logvar_head_.weights().data(),
+                                 logvar_head_.weight_grad().data(),
+                                 logvar_head_.weights().size()});
+  optimizer.register_parameters({logvar_head_.bias().data(),
+                                 logvar_head_.bias_grad().data(),
+                                 logvar_head_.bias().size()});
+  decoder_.register_with(optimizer);
+
+  nn::EarlyStopping stopper(options.early_stopping_patience);
+  util::Rng eval_rng(options.seed ^ 0xabcdef);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (const auto& batch : nn::make_batches(train.rows(), options.batch_size, rng)) {
+      const tensor::Matrix x = train.select_rows(batch);
+      encoder_.zero_gradients();
+      mu_head_.zero_gradients();
+      logvar_head_.zero_gradients();
+      decoder_.zero_gradients();
+      const StepResult step = forward_backward(x, rng);
+      optimizer.step();
+      epoch_loss += step.recon + config_.kl_weight * step.kl;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    history.train_loss.push_back(epoch_loss);
+    ++history.epochs_run;
+
+    if (val_count > 0) {
+      const double val_loss = evaluate_loss(validation, eval_rng);
+      history.validation_loss.push_back(val_loss);
+      if (stopper.update(val_loss)) {
+        history.stopped_early = true;
+        break;
+      }
+    }
+    if (options.verbose && epoch % 100 == 0) {
+      util::log_info("VAE epoch ", epoch, " loss ", epoch_loss);
+    }
+  }
+  return history;
+}
+
+tensor::Matrix VariationalAutoencoder::encode_mean(const tensor::Matrix& X) const {
+  return mu_head_.forward_inference(encoder_.forward_inference(X));
+}
+
+tensor::Matrix VariationalAutoencoder::reconstruct(const tensor::Matrix& X) const {
+  return decoder_.forward_inference(encode_mean(X));
+}
+
+std::vector<double> VariationalAutoencoder::reconstruction_error(
+    const tensor::Matrix& X) const {
+  return tensor::rowwise_mean_abs_error(X, reconstruct(X));
+}
+
+tensor::Matrix VariationalAutoencoder::sample(std::size_t n, util::Rng& rng) const {
+  tensor::Matrix z(n, config_.latent_dim);
+  for (std::size_t i = 0; i < z.size(); ++i) z.data()[i] = rng.gaussian();
+  return decoder_.forward_inference(z);
+}
+
+double VariationalAutoencoder::evaluate_loss(const tensor::Matrix& X,
+                                             util::Rng& rng) const {
+  const tensor::Matrix hidden = encoder_.forward_inference(X);
+  const tensor::Matrix mu = mu_head_.forward_inference(hidden);
+  const tensor::Matrix logvar = logvar_head_.forward_inference(hidden);
+
+  tensor::Matrix z = mu;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const double lv = std::clamp(logvar.data()[i], -kLogvarClamp, kLogvarClamp);
+    z.data()[i] += std::exp(0.5 * lv) * rng.gaussian();
+  }
+  const tensor::Matrix reconstruction = decoder_.forward_inference(z);
+  const double recon = config_.recon_loss == ReconLoss::Mse
+                           ? nn::mse_loss(reconstruction, X).value
+                           : nn::mae_loss(reconstruction, X).value;
+  return recon + config_.kl_weight * nn::gaussian_kl(mu, logvar).value;
+}
+
+void VariationalAutoencoder::save(util::BinaryWriter& writer) const {
+  writer.write_magic(kVaeMagic, 1);
+  writer.write_u64(config_.input_dim);
+  writer.write_u64(config_.latent_dim);
+  writer.write_u64(config_.encoder_hidden.size());
+  for (const auto units : config_.encoder_hidden) writer.write_u64(units);
+  writer.write_string(nn::to_string(config_.hidden_activation));
+  writer.write_f64(config_.kl_weight);
+  writer.write_u64(config_.recon_loss == ReconLoss::Mse ? 0 : 1);
+  writer.write_u64(config_.seed);
+  encoder_.save(writer);
+  mu_head_.save(writer);
+  logvar_head_.save(writer);
+  decoder_.save(writer);
+}
+
+VariationalAutoencoder VariationalAutoencoder::load(util::BinaryReader& reader) {
+  reader.expect_magic(kVaeMagic, 1);
+  VariationalAutoencoder vae;
+  vae.config_.input_dim = reader.read_u64();
+  vae.config_.latent_dim = reader.read_u64();
+  const auto hidden_count = reader.read_u64();
+  vae.config_.encoder_hidden.clear();
+  for (std::uint64_t i = 0; i < hidden_count; ++i) {
+    vae.config_.encoder_hidden.push_back(reader.read_u64());
+  }
+  vae.config_.hidden_activation = nn::activation_from_string(reader.read_string());
+  vae.config_.kl_weight = reader.read_f64();
+  vae.config_.recon_loss = reader.read_u64() == 0 ? ReconLoss::Mse : ReconLoss::Mae;
+  vae.config_.seed = reader.read_u64();
+  vae.encoder_ = nn::Mlp::load(reader);
+  vae.mu_head_ = nn::Dense::load(reader);
+  vae.logvar_head_ = nn::Dense::load(reader);
+  vae.decoder_ = nn::Mlp::load(reader);
+  return vae;
+}
+
+}  // namespace prodigy::core

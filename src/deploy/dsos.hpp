@@ -1,0 +1,71 @@
+// DSOS stand-in (paper §4.1): the monitoring cluster's object store that
+// continuously ingests ldmsd sampler data and answers job-scoped queries
+// from the analytics pipeline.  In-memory with a binary file snapshot; keyed
+// by (job_id, component_id) exactly as the paper's prepared frames are.
+#pragma once
+
+#include "telemetry/generator.hpp"
+#include "util/serialize.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prodigy::deploy {
+
+class DsosStore {
+ public:
+  DsosStore() = default;
+
+  // Movable (fresh mutex in the destination); not copyable.
+  DsosStore(DsosStore&& other) noexcept
+      : nodes_(std::move(other.nodes_)), job_apps_(std::move(other.job_apps_)) {}
+  DsosStore& operator=(DsosStore&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mutex_, other.mutex_);
+      nodes_ = std::move(other.nodes_);
+      job_apps_ = std::move(other.job_apps_);
+    }
+    return *this;
+  }
+  DsosStore(const DsosStore&) = delete;
+  DsosStore& operator=(const DsosStore&) = delete;
+
+  /// Ingests one job's telemetry (all nodes).  Thread-safe; re-ingesting a
+  /// job id replaces its data (aggregation restart semantics).
+  void ingest(const telemetry::JobTelemetry& job);
+
+  /// Ingests a single node series (streaming ldmsd aggregation path).
+  void ingest_node(const telemetry::NodeSeries& node);
+
+  std::vector<std::int64_t> job_ids() const;
+  bool has_job(std::int64_t job_id) const;
+
+  /// Full telemetry of one job; throws std::out_of_range if absent.
+  telemetry::JobTelemetry query_job(std::int64_t job_id) const;
+
+  /// Component ids attached to a job.
+  std::vector<std::int64_t> components_of(std::int64_t job_id) const;
+
+  /// One node's series; throws std::out_of_range if absent.
+  telemetry::NodeSeries query_node(std::int64_t job_id,
+                                   std::int64_t component_id) const;
+
+  std::size_t job_count() const;
+  /// Total stored readings (timestamps x metrics over all nodes).
+  std::size_t datapoint_count() const;
+
+  void save(const std::string& path) const;
+  static DsosStore load(const std::string& path);
+
+ private:
+  using NodeKey = std::pair<std::int64_t, std::int64_t>;  // (job, component)
+
+  mutable std::mutex mutex_;
+  std::map<NodeKey, telemetry::NodeSeries> nodes_;
+  std::map<std::int64_t, std::string> job_apps_;
+};
+
+}  // namespace prodigy::deploy

@@ -1,0 +1,159 @@
+#include "deploy/service.hpp"
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+#include <stdexcept>
+
+namespace prodigy::deploy {
+
+AnalyticsService::AnalyticsService(const DsosStore& store, core::ModelBundle bundle,
+                                   pipeline::PreprocessOptions preprocess,
+                                   bool explain, comte::ComteConfig explanations)
+    : store_(store), bundle_(std::move(bundle)), preprocess_(preprocess),
+      explain_(explain), explanations_(explanations) {}
+
+void AnalyticsService::build_explainer_context(
+    const features::FeatureDataset& train_data) {
+  explain_train_ = bundle_.transform_full(train_data.X);
+  explain_labels_ = train_data.labels;
+  std::vector<std::size_t> healthy;
+  for (std::size_t i = 0; i < explain_labels_.size(); ++i) {
+    if (explain_labels_[i] == 0) healthy.push_back(i);
+  }
+  const auto healthy_scores =
+      bundle_.detector.score(explain_train_.select_rows(healthy));
+  probability_scale_ = comte::ThresholdModelAdapter::estimate_scale(healthy_scores);
+}
+
+JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
+  util::Timer timer;
+  JobAnalysis analysis;
+  analysis.job_id = job_id;
+
+  const telemetry::JobTelemetry job = store_.query_job(job_id);
+  analysis.app = job.app;
+
+  // DataGenerator: preprocess; DataPipeline: features.
+  const pipeline::DataGenerator generator(preprocess_);
+  std::vector<telemetry::JobTelemetry> jobs{job};
+  const features::FeatureDataset dataset =
+      pipeline::DataPipeline::build_from_jobs(jobs, preprocess_);
+
+  // AnomalyDetector: column selection + scaler + model.
+  const tensor::Matrix model_input = bundle_.transform_full(dataset.X);
+  const auto scores = bundle_.detector.score(model_input);
+  const double threshold = bundle_.detector.threshold();
+
+  std::optional<comte::ThresholdModelAdapter> adapter;
+  std::optional<comte::ComteExplainer> explainer;
+  if (explain_ && explain_train_.rows() > 0) {
+    adapter.emplace(bundle_.detector, threshold, probability_scale_);
+    explainer.emplace(*adapter, explain_train_, explain_labels_,
+                      bundle_.metadata.feature_names, explanations_);
+  }
+
+  analysis.nodes.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    NodeVerdict verdict;
+    verdict.component_id = dataset.meta[i].component_id;
+    verdict.score = scores[i];
+    verdict.threshold = threshold;
+    verdict.anomalous = scores[i] > threshold;
+    if (verdict.anomalous && explainer) {
+      verdict.explanation = explainer->explain_optimized(model_input.row(i));
+    }
+    analysis.nodes.push_back(std::move(verdict));
+  }
+  analysis.seconds = timer.elapsed_seconds();
+  return analysis;
+}
+
+NodeVerdict AnalyticsService::analyze_node(std::int64_t job_id,
+                                           std::int64_t component_id) const {
+  const JobAnalysis analysis = analyze_job(job_id);
+  for (const auto& node : analysis.nodes) {
+    if (node.component_id == component_id) return node;
+  }
+  throw std::out_of_range("analyze_node: component " +
+                          std::to_string(component_id) + " not in job " +
+                          std::to_string(job_id));
+}
+
+std::string render_markdown_report(const JobAnalysis& analysis) {
+  std::string out;
+  out += "## Anomaly detection: job " + std::to_string(analysis.job_id) + " (" +
+         analysis.app + ")\n\n";
+  std::size_t anomalous = 0;
+  for (const auto& node : analysis.nodes) anomalous += node.anomalous ? 1 : 0;
+  out += std::to_string(anomalous) + " of " + std::to_string(analysis.nodes.size()) +
+         " compute nodes anomalous; analyzed in " +
+         std::to_string(analysis.seconds) + " s\n\n";
+  out += "| component | verdict | score | threshold |\n";
+  out += "|---|---|---|---|\n";
+  for (const auto& node : analysis.nodes) {
+    out += "| " + std::to_string(node.component_id) + " | " +
+           (node.anomalous ? "**ANOMALOUS**" : "healthy") + " | " +
+           std::to_string(node.score) + " | " + std::to_string(node.threshold) +
+           " |\n";
+  }
+  for (const auto& node : analysis.nodes) {
+    if (!node.explanation) continue;
+    out += "\n### Why component " + std::to_string(node.component_id) +
+           " looks anomalous\n";
+    const auto& explanation = *node.explanation;
+    if (explanation.changes.empty()) {
+      out += "- no counterfactual found within the search budget\n";
+      continue;
+    }
+    for (const auto& change : explanation.changes) {
+      out += "- would be classified healthy if `" + change.metric + "` were " +
+             (change.mean_delta < 0 ? "lower" : "higher") + "\n";
+    }
+    out += "- P(anomalous) " + std::to_string(explanation.original_probability) +
+           " -> " + std::to_string(explanation.final_probability) +
+           (explanation.success ? " (flips to healthy)\n" : " (no flip)\n");
+  }
+  return out;
+}
+
+AnalyticsService AnalyticsService::train_from_store(
+    const DsosStore& store, const std::vector<std::int64_t>& train_jobs,
+    const TrainFromStoreOptions& options, bool explain) {
+  if (train_jobs.empty()) {
+    throw std::invalid_argument("train_from_store: no training jobs");
+  }
+  std::vector<telemetry::JobTelemetry> jobs;
+  jobs.reserve(train_jobs.size());
+  for (const auto job_id : train_jobs) jobs.push_back(store.query_job(job_id));
+
+  const features::FeatureDataset dataset =
+      pipeline::DataPipeline::build_from_jobs(jobs, options.preprocess);
+
+  // Offline feature selection (Fig. 1, stage 1): chi-square needs both
+  // classes; a purely-healthy store falls back to variance ranking.
+  features::SelectionResult selection;
+  const std::size_t anomalous = dataset.anomalous_count();
+  if (anomalous > 0 && anomalous < dataset.size()) {
+    pipeline::Scaler scaler(pipeline::ScalerKind::MinMax);
+    features::FeatureDataset scaled = dataset;
+    scaled.X = scaler.fit_transform(dataset.X);
+    selection = features::select_features_chi2(scaled, options.top_k_features);
+    util::log_info("train_from_store: chi-square selection over ", anomalous,
+                   " anomalous / ", dataset.size(), " total samples");
+  } else {
+    selection = features::select_features_variance(dataset, options.top_k_features);
+    util::log_info("train_from_store: variance selection (single-class store)");
+  }
+
+  const core::ModelTrainer trainer(options.model);
+  core::ModelBundle bundle =
+      trainer.train(dataset, selection.selected, options.system_name);
+
+  AnalyticsService service(store, std::move(bundle), options.preprocess, explain,
+                           options.explanations);
+  if (explain) service.build_explainer_context(dataset);
+  return service;
+}
+
+}  // namespace prodigy::deploy

@@ -1,0 +1,91 @@
+// The analytics pipeline of Figures 2 and 4: a user supplies a job ID and
+// selects the anomaly-detection dashboard; the backend calls DataGenerator ->
+// DataPipeline -> AnomalyDetector, returns one binary verdict per compute
+// node, and attaches CoMTE counterfactual explanations to anomalous
+// predictions.  Offline training (Fig. 3) runs through train_from_store.
+#pragma once
+
+#include "comte/comte.hpp"
+#include "core/model_trainer.hpp"
+#include "deploy/dsos.hpp"
+#include "pipeline/data_pipeline.hpp"
+
+#include <memory>
+#include <optional>
+
+namespace prodigy::deploy {
+
+struct NodeVerdict {
+  std::int64_t component_id = 0;
+  bool anomalous = false;
+  double score = 0.0;     // reconstruction error
+  double threshold = 0.0;
+  std::optional<comte::Explanation> explanation;
+};
+
+struct JobAnalysis {
+  std::int64_t job_id = 0;
+  std::string app;
+  std::vector<NodeVerdict> nodes;
+  double seconds = 0.0;  // end-to-end request latency
+};
+
+struct TrainFromStoreOptions {
+  pipeline::PreprocessOptions preprocess;
+  core::ProdigyConfig model;
+  std::size_t top_k_features = 2000;  // paper's best (§5.4.3)
+  std::string system_name = "Eclipse";
+  /// Counterfactual search budget; strong anomalies (e.g. a full memleak)
+  /// genuinely require several substituted metrics to flip.
+  comte::ComteConfig explanations{/*max_metrics=*/12, /*distractor_candidates=*/5,
+                                  /*restarts=*/3};
+};
+
+class AnalyticsService {
+ public:
+  /// `store` must outlive the service.  When `explain` is true, anomalous
+  /// node verdicts carry CoMTE explanations (built from the bundle's
+  /// training-space data captured at train time).
+  AnalyticsService(const DsosStore& store, core::ModelBundle bundle,
+                   pipeline::PreprocessOptions preprocess, bool explain,
+                   comte::ComteConfig explanations = {});
+
+  /// The Grafana request: job ID in, per-node verdicts out.
+  JobAnalysis analyze_job(std::int64_t job_id) const;
+
+  /// Node-level analysis (paper: "job- and node-level analysis"): the
+  /// verdict for one compute node of a job.  Throws std::out_of_range if the
+  /// component is not part of the job.
+  NodeVerdict analyze_node(std::int64_t job_id, std::int64_t component_id) const;
+
+  const core::ModelBundle& bundle() const noexcept { return bundle_; }
+
+  /// Offline training flow (Fig. 3): builds the feature dataset from the
+  /// given stored jobs, selects efficient features (chi-square when both
+  /// classes are present, variance ranking otherwise), trains the VAE on the
+  /// healthy rows, and returns the service wired to the fresh bundle.
+  static AnalyticsService train_from_store(const DsosStore& store,
+                                           const std::vector<std::int64_t>& train_jobs,
+                                           const TrainFromStoreOptions& options,
+                                           bool explain = true);
+
+ private:
+  void build_explainer_context(const features::FeatureDataset& train_data);
+
+  const DsosStore& store_;
+  core::ModelBundle bundle_;
+  pipeline::PreprocessOptions preprocess_;
+  bool explain_;
+
+  // Explainer context: scaled training matrix + labels in model-input space.
+  tensor::Matrix explain_train_;
+  std::vector<int> explain_labels_;
+  double probability_scale_ = 1e-3;
+  comte::ComteConfig explanations_;
+};
+
+/// Renders a job analysis as the markdown block the Grafana dashboard
+/// displays (verdict table + explanation bullets per anomalous node).
+std::string render_markdown_report(const JobAnalysis& analysis);
+
+}  // namespace prodigy::deploy

@@ -1,0 +1,109 @@
+#include "eval/crossval.hpp"
+
+#include "pipeline/splits.hpp"
+#include "tensor/stats.hpp"
+#include "util/timer.hpp"
+
+#include <cmath>
+
+namespace prodigy::eval {
+
+DetectorEvaluation evaluate_fold(core::Detector& detector,
+                                 const tensor::Matrix& X_train,
+                                 const std::vector<int>& y_train,
+                                 const tensor::Matrix& X_test,
+                                 const std::vector<int>& y_test,
+                                 const EvalOptions& options) {
+  DetectorEvaluation result;
+  result.train_size = X_train.rows();
+  result.test_size = X_test.rows();
+
+  pipeline::Scaler scaler(options.scaler);
+  const tensor::Matrix train_scaled = scaler.fit_transform(X_train);
+  const tensor::Matrix test_scaled = scaler.transform(X_test);
+
+  util::Timer timer;
+  detector.fit(train_scaled, y_train);
+  result.train_seconds = timer.elapsed_seconds();
+
+  if (options.tune_on_test) detector.tune(test_scaled, y_test);
+
+  timer.reset();
+  const auto predictions = detector.predict(test_scaled);
+  result.inference_seconds = timer.elapsed_seconds();
+
+  result.cm = confusion_matrix(y_test, predictions);
+  result.macro_f1 = macro_f1(result.cm);
+  result.accuracy = accuracy(result.cm);
+  return result;
+}
+
+double RepeatedEvaluation::mean_f1() const noexcept {
+  if (rounds.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& round : rounds) acc += round.macro_f1;
+  return acc / static_cast<double>(rounds.size());
+}
+
+double RepeatedEvaluation::stddev_f1() const noexcept {
+  if (rounds.size() < 2) return 0.0;
+  const double mean = mean_f1();
+  double acc = 0.0;
+  for (const auto& round : rounds) {
+    const double d = round.macro_f1 - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(rounds.size()));
+}
+
+double RepeatedEvaluation::mean_accuracy() const noexcept {
+  if (rounds.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& round : rounds) acc += round.accuracy;
+  return acc / static_cast<double>(rounds.size());
+}
+
+namespace {
+
+RepeatedEvaluation run_rounds(
+    const DetectorFactory& factory, const features::FeatureDataset& dataset,
+    const std::vector<pipeline::SplitIndices>& splits, const EvalOptions& options) {
+  RepeatedEvaluation result;
+  result.rounds.reserve(splits.size());
+  for (const auto& split : splits) {
+    const auto train = dataset.select_rows(split.train);
+    const auto test = dataset.select_rows(split.test);
+    auto detector = factory();
+    result.rounds.push_back(evaluate_fold(*detector, train.X, train.labels,
+                                          test.X, test.labels, options));
+  }
+  return result;
+}
+
+}  // namespace
+
+RepeatedEvaluation repeated_prodigy_eval(const DetectorFactory& factory,
+                                         const features::FeatureDataset& dataset,
+                                         std::size_t rounds, std::uint64_t seed,
+                                         const EvalOptions& options,
+                                         double train_fraction,
+                                         double train_anomaly_ratio) {
+  util::Rng rng(seed);
+  std::vector<pipeline::SplitIndices> splits;
+  splits.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    splits.push_back(pipeline::prodigy_split(dataset.labels, train_fraction,
+                                             train_anomaly_ratio, rng()));
+  }
+  return run_rounds(factory, dataset, splits, options);
+}
+
+RepeatedEvaluation kfold_eval(const DetectorFactory& factory,
+                              const features::FeatureDataset& dataset,
+                              std::size_t folds, std::uint64_t seed,
+                              const EvalOptions& options) {
+  const auto splits = pipeline::stratified_kfold(dataset.labels, folds, seed);
+  return run_rounds(factory, dataset, splits, options);
+}
+
+}  // namespace prodigy::eval

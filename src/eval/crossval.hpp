@@ -1,0 +1,70 @@
+// Evaluation harnesses for the Figure-5 style comparisons:
+//  * evaluate_fold: scale -> fit -> (optional) threshold tuning -> metrics;
+//  * repeated_prodigy_eval: the paper's 20-80 split with a 10% training
+//    anomaly cap, repeated with fresh seeds (their "5-fold cross-validation"
+//    over the fixed collection);
+//  * kfold_eval: classic stratified k-fold, provided for ablations.
+#pragma once
+
+#include "core/detector_iface.hpp"
+#include "eval/metrics.hpp"
+#include "features/feature_matrix.hpp"
+#include "pipeline/scaler.hpp"
+
+#include <functional>
+#include <memory>
+
+namespace prodigy::eval {
+
+using DetectorFactory = std::function<std::unique_ptr<core::Detector>()>;
+
+struct DetectorEvaluation {
+  ConfusionMatrix cm;
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+  double train_seconds = 0.0;
+  double inference_seconds = 0.0;
+  std::size_t train_size = 0;
+  std::size_t test_size = 0;
+};
+
+struct EvalOptions {
+  pipeline::ScalerKind scaler = pipeline::ScalerKind::MinMax;
+  /// Let the detector tune its threshold on the (labeled) test scores, as
+  /// the paper does for Prodigy and USAD (§5.4.4).
+  bool tune_on_test = true;
+};
+
+/// Scales (fit on train), fits the detector, optionally tunes, and scores
+/// the test split.
+DetectorEvaluation evaluate_fold(core::Detector& detector,
+                                 const tensor::Matrix& X_train,
+                                 const std::vector<int>& y_train,
+                                 const tensor::Matrix& X_test,
+                                 const std::vector<int>& y_test,
+                                 const EvalOptions& options);
+
+struct RepeatedEvaluation {
+  std::vector<DetectorEvaluation> rounds;
+
+  double mean_f1() const noexcept;
+  double stddev_f1() const noexcept;
+  double mean_accuracy() const noexcept;
+};
+
+/// Paper split repeated `rounds` times with derived seeds: 20% train
+/// (anomaly ratio capped at 10%), 80% test.
+RepeatedEvaluation repeated_prodigy_eval(const DetectorFactory& factory,
+                                         const features::FeatureDataset& dataset,
+                                         std::size_t rounds, std::uint64_t seed,
+                                         const EvalOptions& options,
+                                         double train_fraction = 0.2,
+                                         double train_anomaly_ratio = 0.1);
+
+/// Classic stratified k-fold over the dataset.
+RepeatedEvaluation kfold_eval(const DetectorFactory& factory,
+                              const features::FeatureDataset& dataset,
+                              std::size_t folds, std::uint64_t seed,
+                              const EvalOptions& options);
+
+}  // namespace prodigy::eval

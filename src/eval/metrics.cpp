@@ -1,0 +1,130 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::eval {
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predictions) {
+  if (truth.size() != predictions.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const bool actual = truth[i] != 0;
+    const bool predicted = predictions[i] != 0;
+    if (actual && predicted) ++cm.true_positive;
+    else if (!actual && !predicted) ++cm.true_negative;
+    else if (!actual && predicted) ++cm.false_positive;
+    else ++cm.false_negative;
+  }
+  return cm;
+}
+
+double accuracy(const ConfusionMatrix& cm) noexcept {
+  const auto total = cm.total();
+  if (total == 0) return 0.0;
+  return static_cast<double>(cm.true_positive + cm.true_negative) /
+         static_cast<double>(total);
+}
+
+double precision(const ConfusionMatrix& cm) noexcept {
+  const auto denom = cm.true_positive + cm.false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(cm.true_positive) / static_cast<double>(denom);
+}
+
+double recall(const ConfusionMatrix& cm) noexcept {
+  const auto denom = cm.true_positive + cm.false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(cm.true_positive) / static_cast<double>(denom);
+}
+
+double f1_score(const ConfusionMatrix& cm) noexcept {
+  const double p = precision(cm);
+  const double r = recall(cm);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double macro_f1(const ConfusionMatrix& cm) noexcept {
+  // F1 of the negative class is the F1 of the positive class of the
+  // label-swapped problem.
+  const ConfusionMatrix swapped{cm.true_negative, cm.true_positive,
+                                cm.false_negative, cm.false_positive};
+  return 0.5 * (f1_score(cm) + f1_score(swapped));
+}
+
+double macro_f1(const std::vector<int>& truth, const std::vector<int>& predictions) {
+  return macro_f1(confusion_matrix(truth, predictions));
+}
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& predictions) {
+  return accuracy(confusion_matrix(truth, predictions));
+}
+
+std::vector<int> predictions_at_threshold(const std::vector<double>& scores,
+                                          double threshold) {
+  std::vector<int> predictions(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    predictions[i] = scores[i] > threshold ? 1 : 0;
+  }
+  return predictions;
+}
+
+ThresholdSearch best_threshold_by_f1(const std::vector<double>& scores,
+                                     const std::vector<int>& truth,
+                                     std::size_t steps) {
+  if (scores.empty() || scores.size() != truth.size()) {
+    throw std::invalid_argument("best_threshold_by_f1: bad inputs");
+  }
+  // Exact sweep over the sorted scores (the paper iterates normalized scores
+  // in 0.001 steps; an equidistant grid breaks down when a few extreme
+  // outlier scores stretch the range, so we sweep candidate thresholds at
+  // every observed score instead and update the confusion counts
+  // incrementally).  `steps` bounds nothing here; kept for API stability.
+  (void)steps;
+
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::size_t positives = 0;
+  for (const int label : truth) positives += label != 0 ? 1 : 0;
+  const std::size_t negatives = truth.size() - positives;
+
+  // Start with threshold above every score: nothing predicted anomalous.
+  ConfusionMatrix cm{0, negatives, 0, positives};
+  const double max_score = scores[order.front()];
+  ThresholdSearch best{std::nextafter(max_score, max_score + 1.0), macro_f1(cm)};
+
+  for (std::size_t i = 0; i < order.size();) {
+    // Lower the threshold just below the next distinct score value; all ties
+    // flip to predicted-anomalous together.
+    const double value = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == value) {
+      if (truth[order[i]] != 0) {
+        ++cm.true_positive;
+        --cm.false_negative;
+      } else {
+        ++cm.false_positive;
+        --cm.true_negative;
+      }
+      ++i;
+    }
+    const double threshold =
+        i < order.size() ? 0.5 * (value + scores[order[i]])
+                         : std::nextafter(value, value - 1.0);
+    const double f1 = macro_f1(cm);
+    if (f1 > best.best_macro_f1) {
+      best.best_macro_f1 = f1;
+      best.best_threshold = threshold;
+    }
+  }
+  return best;
+}
+
+}  // namespace prodigy::eval

@@ -1,0 +1,53 @@
+// Classification metrics.  The paper reports the macro-average F1-score
+// (harmonic mean of precision and recall averaged over both classes with
+// equal weight), which is robust to the heavy class imbalance of the Eclipse
+// (90% anomalous) and Volta (10% anomalous) test sets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prodigy::eval {
+
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_positive = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const noexcept {
+    return true_positive + true_negative + false_positive + false_negative;
+  }
+};
+
+ConfusionMatrix confusion_matrix(const std::vector<int>& truth,
+                                 const std::vector<int>& predictions);
+
+double accuracy(const ConfusionMatrix& cm) noexcept;
+/// Precision/recall/F1 of the positive (anomalous) class.
+double precision(const ConfusionMatrix& cm) noexcept;
+double recall(const ConfusionMatrix& cm) noexcept;
+double f1_score(const ConfusionMatrix& cm) noexcept;
+/// Macro-average F1: mean of the per-class F1 scores.
+double macro_f1(const ConfusionMatrix& cm) noexcept;
+
+double macro_f1(const std::vector<int>& truth, const std::vector<int>& predictions);
+double accuracy(const std::vector<int>& truth, const std::vector<int>& predictions);
+
+/// Converts scores to predictions at a threshold (score > threshold -> 1).
+std::vector<int> predictions_at_threshold(const std::vector<double>& scores,
+                                          double threshold);
+
+struct ThresholdSearch {
+  double best_threshold = 0.0;
+  double best_macro_f1 = 0.0;
+};
+
+/// Sweeps `steps` evenly spaced thresholds across [min(scores), max(scores)]
+/// and returns the macro-F1 maximizer (paper §5.4.4 iterates 0..1 in 0.001
+/// steps over normalized scores; this generalizes to unnormalized errors).
+ThresholdSearch best_threshold_by_f1(const std::vector<double>& scores,
+                                     const std::vector<int>& truth,
+                                     std::size_t steps = 1000);
+
+}  // namespace prodigy::eval

@@ -1,0 +1,110 @@
+#include "features/chi_square.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace prodigy::features {
+
+std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>& y) {
+  if (X.rows() != y.size()) {
+    throw std::invalid_argument("chi2_scores: rows != labels");
+  }
+  if (X.rows() == 0) return std::vector<double>(X.cols(), 0.0);
+
+  std::size_t positives = 0;
+  for (int label : y) positives += label != 0 ? 1 : 0;
+  const std::size_t negatives = y.size() - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument(
+        "chi2_scores: needs samples of both classes (the paper uses a small "
+        "set of anomalous samples only for this stage)");
+  }
+
+  const double p_pos = static_cast<double>(positives) / static_cast<double>(y.size());
+  const double p_neg = 1.0 - p_pos;
+
+  std::vector<double> scores(X.cols(), 0.0);
+  std::vector<double> observed_pos(X.cols(), 0.0);
+  std::vector<double> observed_neg(X.cols(), 0.0);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    auto& target = y[r] != 0 ? observed_pos : observed_neg;
+    const double* row = X.data() + r * X.cols();
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      if (row[c] < 0.0) {
+        throw std::invalid_argument("chi2_scores: negative feature value; "
+                                    "min-max scale features first");
+      }
+      target[c] += row[c];
+    }
+  }
+
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    const double total = observed_pos[c] + observed_neg[c];
+    if (total <= 0.0) {
+      scores[c] = 0.0;  // all-zero feature carries no information
+      continue;
+    }
+    const double expected_pos = total * p_pos;
+    const double expected_neg = total * p_neg;
+    double chi2 = 0.0;
+    if (expected_pos > 0.0) {
+      const double d = observed_pos[c] - expected_pos;
+      chi2 += d * d / expected_pos;
+    }
+    if (expected_neg > 0.0) {
+      const double d = observed_neg[c] - expected_neg;
+      chi2 += d * d / expected_neg;
+    }
+    scores[c] = chi2;
+  }
+  return scores;
+}
+
+std::vector<std::size_t> top_k_indices(const std::vector<double>& scores,
+                                       std::size_t k) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min(k, scores.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&scores](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;  // deterministic tie-break
+                    });
+  order.resize(k);
+  return order;
+}
+
+SelectionResult select_features_chi2(const FeatureDataset& dataset, std::size_t k) {
+  SelectionResult result;
+  result.scores = chi2_scores(dataset.X, dataset.labels);
+  result.selected = top_k_indices(result.scores, k);
+  return result;
+}
+
+SelectionResult select_features_variance(const FeatureDataset& dataset,
+                                         std::size_t k) {
+  SelectionResult result;
+  result.scores.assign(dataset.X.cols(), 0.0);
+  for (std::size_t c = 0; c < dataset.X.cols(); ++c) {
+    const auto column = dataset.X.column(c);
+    const double lo = *std::min_element(column.begin(), column.end());
+    const double hi = *std::max_element(column.begin(), column.end());
+    if (hi <= lo) continue;
+    // Variance after min-max scaling: scale-free spread measure.
+    double mean = 0.0;
+    for (const double v : column) mean += (v - lo) / (hi - lo);
+    mean /= static_cast<double>(column.size());
+    double var = 0.0;
+    for (const double v : column) {
+      const double z = (v - lo) / (hi - lo) - mean;
+      var += z * z;
+    }
+    result.scores[c] = var / static_cast<double>(column.size());
+  }
+  result.selected = top_k_indices(result.scores, k);
+  return result;
+}
+
+}  // namespace prodigy::features

@@ -1,0 +1,38 @@
+// Chi-square feature selection (paper §3.2, §5.4.3).
+//
+// Mirrors scikit-learn's chi2 scorer: treats each non-negative feature as a
+// frequency, compares per-class observed sums against the expectation under
+// class-independence, and ranks features by the statistic.  The paper's
+// selection stage is the only step that needs any anomalous labels (24-55
+// samples suffice); training itself stays unsupervised.
+#pragma once
+
+#include "features/feature_matrix.hpp"
+
+#include <vector>
+
+namespace prodigy::features {
+
+/// Per-feature chi-square statistic.  X must be non-negative (min-max scale
+/// first, as the pipeline does); y holds class labels {0, 1}.
+std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>& y);
+
+/// Indices of the k largest scores, in descending score order.
+std::vector<std::size_t> top_k_indices(const std::vector<double>& scores,
+                                       std::size_t k);
+
+struct SelectionResult {
+  std::vector<std::size_t> selected;  // column indices into the input dataset
+  std::vector<double> scores;         // all column scores
+};
+
+/// End-to-end "efficient feature" selection: scores every column of the
+/// (healthy + anomalous) selection dataset and keeps the top k.
+SelectionResult select_features_chi2(const FeatureDataset& dataset, std::size_t k);
+
+/// Label-free fallback for the fully-unsupervised deployment path (paper
+/// §7 future work): ranks columns by variance of the min-max-scaled values.
+SelectionResult select_features_variance(const FeatureDataset& dataset,
+                                         std::size_t k);
+
+}  // namespace prodigy::features

@@ -1,0 +1,327 @@
+#include "features/extractors.hpp"
+
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace prodigy::features {
+
+double abs_energy(std::span<const double> xs) noexcept {
+  double acc = 0.0;
+  for (double x : xs) acc += x * x;
+  return acc;
+}
+
+double root_mean_square(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return std::sqrt(abs_energy(xs) / static_cast<double>(xs.size()));
+}
+
+double mean_abs_change(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) acc += std::abs(xs[i] - xs[i - 1]);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double mean_change(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  return (xs.back() - xs.front()) / static_cast<double>(xs.size() - 1);
+}
+
+double absolute_sum_of_changes(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) acc += std::abs(xs[i] - xs[i - 1]);
+  return acc;
+}
+
+double mean_second_derivative_central(std::span<const double> xs) noexcept {
+  if (xs.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    acc += 0.5 * (xs[i + 1] - 2.0 * xs[i] + xs[i - 1]);
+  }
+  return acc / static_cast<double>(xs.size() - 2);
+}
+
+double variation_coefficient(std::span<const double> xs) noexcept {
+  const double m = tensor::mean(xs);
+  if (m == 0.0) return 0.0;
+  return tensor::stddev(xs) / std::abs(m);
+}
+
+double value_range(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return tensor::max_value(xs) - tensor::min_value(xs);
+}
+
+double interquartile_range(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return tensor::quantile_sorted(sorted, 0.75) - tensor::quantile_sorted(sorted, 0.25);
+}
+
+namespace {
+
+template <typename Compare>
+std::pair<std::size_t, std::size_t> first_last_extreme(std::span<const double> xs,
+                                                       Compare better) noexcept {
+  std::size_t first = 0, last = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (better(xs[i], xs[first])) first = i;
+    if (!better(xs[last], xs[i])) last = i;  // >= / <= keeps the latest tie
+  }
+  return {first, last};
+}
+
+double relative(std::size_t index, std::size_t n) noexcept {
+  return n == 0 ? 0.0 : static_cast<double>(index) / static_cast<double>(n);
+}
+
+}  // namespace
+
+double first_location_of_maximum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return relative(first_last_extreme(xs, std::greater<>()).first, xs.size());
+}
+
+double last_location_of_maximum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return relative(first_last_extreme(xs, std::greater<>()).second, xs.size());
+}
+
+double first_location_of_minimum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return relative(first_last_extreme(xs, std::less<>()).first, xs.size());
+}
+
+double last_location_of_minimum(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return relative(first_last_extreme(xs, std::less<>()).second, xs.size());
+}
+
+double count_above_mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = tensor::mean(xs);
+  std::size_t count = 0;
+  for (double x : xs) count += x > m ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double count_below_mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = tensor::mean(xs);
+  std::size_t count = 0;
+  for (double x : xs) count += x < m ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+namespace {
+
+double longest_strike(std::span<const double> xs, bool above) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = tensor::mean(xs);
+  std::size_t best = 0, current = 0;
+  for (double x : xs) {
+    const bool hit = above ? x > m : x < m;
+    current = hit ? current + 1 : 0;
+    best = std::max(best, current);
+  }
+  return static_cast<double>(best) / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double longest_strike_above_mean(std::span<const double> xs) noexcept {
+  return longest_strike(xs, true);
+}
+
+double longest_strike_below_mean(std::span<const double> xs) noexcept {
+  return longest_strike(xs, false);
+}
+
+double mean_crossing_rate(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = tensor::mean(xs);
+  std::size_t crossings = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if ((xs[i - 1] > m) != (xs[i] > m)) ++crossings;
+  }
+  return static_cast<double>(crossings) / static_cast<double>(xs.size() - 1);
+}
+
+double number_peaks(std::span<const double> xs, std::size_t support) noexcept {
+  if (xs.size() < 2 * support + 1 || support == 0) return 0.0;
+  std::size_t peaks = 0;
+  for (std::size_t i = support; i + support < xs.size(); ++i) {
+    bool is_peak = true;
+    for (std::size_t k = 1; k <= support && is_peak; ++k) {
+      if (xs[i] <= xs[i - k] || xs[i] <= xs[i + k]) is_peak = false;
+    }
+    if (is_peak) ++peaks;
+  }
+  return static_cast<double>(peaks) / static_cast<double>(xs.size());
+}
+
+double ratio_beyond_r_sigma(std::span<const double> xs, double r) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = tensor::mean(xs);
+  const double sd = tensor::stddev(xs);
+  if (sd == 0.0) return 0.0;
+  std::size_t count = 0;
+  for (double x : xs) count += std::abs(x - m) > r * sd ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double c3(std::span<const double> xs, std::size_t lag) noexcept {
+  if (xs.size() < 2 * lag + 1 || lag == 0) return 0.0;
+  double acc = 0.0;
+  const std::size_t n = xs.size() - 2 * lag;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += xs[i + 2 * lag] * xs[i + lag] * xs[i];
+  }
+  return acc / static_cast<double>(n);
+}
+
+double time_reversal_asymmetry(std::span<const double> xs, std::size_t lag) noexcept {
+  if (xs.size() < 2 * lag + 1 || lag == 0) return 0.0;
+  double acc = 0.0;
+  const std::size_t n = xs.size() - 2 * lag;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = xs[i + 2 * lag];
+    const double b = xs[i + lag];
+    const double c = xs[i];
+    acc += a * a * b - b * c * c;
+  }
+  return acc / static_cast<double>(n);
+}
+
+double cid_ce(std::span<const double> xs, bool normalize) noexcept {
+  if (xs.size() < 2) return 0.0;
+  double acc = 0.0;
+  if (normalize) {
+    const double m = tensor::mean(xs);
+    const double sd = tensor::stddev(xs);
+    if (sd == 0.0) return 0.0;
+    double prev = (xs[0] - m) / sd;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      const double current = (xs[i] - m) / sd;
+      const double d = current - prev;
+      acc += d * d;
+      prev = current;
+    }
+  } else {
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      const double d = xs[i] - xs[i - 1];
+      acc += d * d;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double approximate_entropy(std::span<const double> xs, std::size_t m, double r_frac) {
+  constexpr std::size_t kMaxPoints = 256;  // O(n^2) cost control
+  std::vector<double> series;
+  if (xs.size() > kMaxPoints) {
+    series.reserve(kMaxPoints);
+    const double stride = static_cast<double>(xs.size()) / kMaxPoints;
+    for (std::size_t i = 0; i < kMaxPoints; ++i) {
+      series.push_back(xs[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+    }
+  } else {
+    series.assign(xs.begin(), xs.end());
+  }
+  const std::size_t n = series.size();
+  if (n < m + 2) return 0.0;
+  const double r = r_frac * tensor::stddev(series);
+  if (r == 0.0) return 0.0;
+
+  auto phi = [&](std::size_t dim) {
+    const std::size_t count = n - dim + 1;
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t matches = 0;
+      for (std::size_t j = 0; j < count; ++j) {
+        bool match = true;
+        for (std::size_t k = 0; k < dim && match; ++k) {
+          if (std::abs(series[i + k] - series[j + k]) > r) match = false;
+        }
+        if (match) ++matches;
+      }
+      total += std::log(static_cast<double>(matches) / static_cast<double>(count));
+    }
+    return total / static_cast<double>(count);
+  };
+
+  return std::abs(phi(m) - phi(m + 1));
+}
+
+double binned_entropy(std::span<const double> xs, std::size_t max_bins) {
+  if (xs.empty() || max_bins == 0) return 0.0;
+  const double lo = tensor::min_value(xs);
+  const double hi = tensor::max_value(xs);
+  if (hi <= lo) return 0.0;
+  std::vector<std::size_t> counts(max_bins, 0);
+  for (double x : xs) {
+    auto bin = static_cast<std::size_t>((x - lo) / (hi - lo) * static_cast<double>(max_bins));
+    counts[std::min(bin, max_bins - 1)]++;
+  }
+  double entropy = 0.0;
+  for (std::size_t count : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(xs.size());
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double benford_correlation(std::span<const double> xs) {
+  std::array<double, 9> observed{};
+  std::size_t counted = 0;
+  for (double x : xs) {
+    double v = std::abs(x);
+    if (v == 0.0 || !std::isfinite(v)) continue;
+    while (v >= 10.0) v /= 10.0;
+    while (v < 1.0) v *= 10.0;
+    const auto digit = static_cast<std::size_t>(v);  // 1..9
+    observed[digit - 1] += 1.0;
+    ++counted;
+  }
+  if (counted == 0) return 0.0;
+  for (auto& count : observed) count /= static_cast<double>(counted);
+
+  std::array<double, 9> benford{};
+  for (std::size_t d = 1; d <= 9; ++d) {
+    benford[d - 1] = std::log10(1.0 + 1.0 / static_cast<double>(d));
+  }
+  return tensor::pearson_correlation(observed, benford);
+}
+
+LinearTrendResult linear_trend(std::span<const double> xs) noexcept {
+  LinearTrendResult result;
+  const std::size_t n = xs.size();
+  if (n < 2) return result;
+  const double nd = static_cast<double>(n);
+  const double t_mean = (nd - 1.0) / 2.0;
+  const double x_mean = tensor::mean(xs);
+  double stx = 0.0, stt = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dt = static_cast<double>(i) - t_mean;
+    const double dx = xs[i] - x_mean;
+    stx += dt * dx;
+    stt += dt * dt;
+    sxx += dx * dx;
+  }
+  if (stt == 0.0) return result;
+  result.slope = stx / stt;
+  result.intercept = x_mean - result.slope * t_mean;
+  result.r_squared = sxx == 0.0 ? 0.0 : (stx * stx) / (stt * sxx);
+  return result;
+}
+
+}  // namespace prodigy::features

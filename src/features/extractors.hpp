@@ -1,0 +1,76 @@
+// Scalar time-series characterization functions — the reproduction of the
+// TSFRESH feature family used by the paper (§3.1, §4.2.1): descriptive
+// statistics plus "advanced" features such as approximate entropy, power
+// spectral density aggregates, the variation coefficient, C3 nonlinearity
+// statistics and Benford correlation.
+//
+// All extractors are NaN-free total functions: they return 0.0 (or another
+// documented neutral value) on degenerate inputs (empty, constant, too
+// short) instead of propagating NaN into the feature matrix.
+#pragma once
+
+#include <span>
+
+namespace prodigy::features {
+
+// --- energy & change ---
+double abs_energy(std::span<const double> xs) noexcept;            // sum x^2
+double root_mean_square(std::span<const double> xs) noexcept;
+double mean_abs_change(std::span<const double> xs) noexcept;
+double mean_change(std::span<const double> xs) noexcept;
+double absolute_sum_of_changes(std::span<const double> xs) noexcept;
+double mean_second_derivative_central(std::span<const double> xs) noexcept;
+
+// --- dispersion ---
+/// stddev / |mean|; 0 when the mean is 0.
+double variation_coefficient(std::span<const double> xs) noexcept;
+double value_range(std::span<const double> xs) noexcept;  // max - min
+double interquartile_range(std::span<const double> xs);
+
+// --- shape & location ---
+double first_location_of_maximum(std::span<const double> xs) noexcept;
+double last_location_of_maximum(std::span<const double> xs) noexcept;
+double first_location_of_minimum(std::span<const double> xs) noexcept;
+double last_location_of_minimum(std::span<const double> xs) noexcept;
+
+// --- counts & strikes ---
+double count_above_mean(std::span<const double> xs) noexcept;   // ratio in [0,1]
+double count_below_mean(std::span<const double> xs) noexcept;
+double longest_strike_above_mean(std::span<const double> xs) noexcept;  // ratio
+double longest_strike_below_mean(std::span<const double> xs) noexcept;
+/// Number of mean-crossings divided by (n-1).
+double mean_crossing_rate(std::span<const double> xs) noexcept;
+/// Count of local maxima strictly greater than `support` neighbours each side,
+/// normalized by series length.
+double number_peaks(std::span<const double> xs, std::size_t support) noexcept;
+/// Fraction of samples farther than r * stddev from the mean.
+double ratio_beyond_r_sigma(std::span<const double> xs, double r) noexcept;
+
+// --- nonlinearity & complexity ---
+/// C3 statistic (Schreiber & Schmitz 1997): mean of x[i+2l]*x[i+l]*x[i].
+double c3(std::span<const double> xs, std::size_t lag) noexcept;
+/// Time-reversal asymmetry statistic at the given lag.
+double time_reversal_asymmetry(std::span<const double> xs, std::size_t lag) noexcept;
+/// Complexity-invariant distance estimate (CID-CE).
+double cid_ce(std::span<const double> xs, bool normalize) noexcept;
+/// Approximate entropy with embedding dimension m and tolerance r_frac * std.
+/// Series longer than 256 points are subsampled for O(n^2) cost control.
+double approximate_entropy(std::span<const double> xs, std::size_t m, double r_frac);
+/// Shannon entropy of a max_bins equal-width histogram.
+double binned_entropy(std::span<const double> xs, std::size_t max_bins);
+
+// --- distributional law ---
+/// Pearson correlation between the first-digit distribution of xs and the
+/// Benford distribution (Hill 1995), as used by TSFRESH.
+double benford_correlation(std::span<const double> xs);
+
+// --- trend ---
+struct LinearTrendResult {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+/// Least-squares linear fit of xs against the time index.
+LinearTrendResult linear_trend(std::span<const double> xs) noexcept;
+
+}  // namespace prodigy::features

@@ -1,0 +1,93 @@
+#include "features/fft.hpp"
+
+#include "tensor/stats.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace prodigy::features {
+
+void fft_radix2(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if ((n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = data[i + k];
+        const auto v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> power_spectrum(std::span<const double> xs) {
+  if (xs.empty()) return {0.0};
+  std::size_t padded = 1;
+  while (padded < xs.size()) padded <<= 1;
+
+  const double mean = tensor::mean(xs);
+  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
+  for (std::size_t i = 0; i < xs.size(); ++i) buffer[i] = {xs[i] - mean, 0.0};
+  fft_radix2(buffer);
+
+  std::vector<double> power(padded / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(buffer[k]);
+  }
+  return power;
+}
+
+SpectralSummary spectral_summary(std::span<const double> xs) {
+  SpectralSummary summary;
+  const auto power = power_spectrum(xs);
+  if (power.size() < 2) return summary;
+
+  double total = 0.0;
+  for (double p : power) total += p;
+  summary.total_power = total;
+  if (total <= 0.0) return summary;
+
+  const double bins = static_cast<double>(power.size() - 1);
+  double centroid = 0.0;
+  std::size_t peak_bin = 0;
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    const double freq = static_cast<double>(k) / bins;  // normalized [0, 1]
+    centroid += freq * power[k];
+    if (power[k] > power[peak_bin]) peak_bin = k;
+  }
+  centroid /= total;
+  summary.centroid = centroid;
+  summary.peak_frequency = static_cast<double>(peak_bin) / bins;
+
+  double spread = 0.0;
+  double entropy = 0.0;
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    const double freq = static_cast<double>(k) / bins;
+    const double p = power[k] / total;
+    spread += (freq - centroid) * (freq - centroid) * p;
+    if (p > 0.0) entropy -= p * std::log(p);
+    summary.band_power[std::min<std::size_t>(3, static_cast<std::size_t>(freq * 4.0))] += p;
+  }
+  summary.spread = std::sqrt(spread);
+  summary.entropy = entropy;
+  return summary;
+}
+
+}  // namespace prodigy::features

@@ -1,0 +1,30 @@
+// Radix-2 FFT and the spectral summary features built on it (TSFRESH's
+// fft_aggregated / spectral-density family).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace prodigy::features {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.  data.size() must be a
+/// power of two (use power_spectrum for arbitrary lengths).
+void fft_radix2(std::vector<std::complex<double>>& data);
+
+/// One-sided power spectrum of a mean-removed, zero-padded copy of xs.
+/// Returns |X_k|^2 for k = 0 .. N/2 where N is xs.size() padded to 2^m.
+std::vector<double> power_spectrum(std::span<const double> xs);
+
+struct SpectralSummary {
+  double total_power = 0.0;
+  double centroid = 0.0;      // power-weighted mean normalized frequency
+  double spread = 0.0;        // power-weighted stddev of frequency
+  double entropy = 0.0;       // Shannon entropy of the normalized spectrum
+  double peak_frequency = 0.0;  // normalized frequency of the strongest bin
+  double band_power[4] = {0, 0, 0, 0};  // quartile frequency bands
+};
+
+SpectralSummary spectral_summary(std::span<const double> xs);
+
+}  // namespace prodigy::features

@@ -1,0 +1,130 @@
+#include "features/registry.hpp"
+
+#include "features/extractors.hpp"
+#include "features/fft.hpp"
+#include "tensor/stats.hpp"
+
+#include <cmath>
+
+namespace prodigy::features {
+
+namespace {
+
+std::vector<FeatureDef> build_registry() {
+  std::vector<FeatureDef> defs;
+  auto add = [&defs](std::string name, FeatureFn fn) {
+    defs.push_back({std::move(name), std::move(fn)});
+  };
+
+  // Descriptive statistics.
+  add("sum", [](auto xs) { return tensor::sum(xs); });
+  add("mean", [](auto xs) { return tensor::mean(xs); });
+  add("median", [](auto xs) { return tensor::median(xs); });
+  add("minimum", [](auto xs) { return tensor::min_value(xs); });
+  add("maximum", [](auto xs) { return tensor::max_value(xs); });
+  add("standard_deviation", [](auto xs) { return tensor::stddev(xs); });
+  add("variance", [](auto xs) { return tensor::variance(xs); });
+  add("skewness", [](auto xs) { return tensor::skewness(xs); });
+  add("kurtosis", [](auto xs) { return tensor::kurtosis(xs); });
+  add("range", [](auto xs) { return value_range(xs); });
+  add("interquartile_range", [](auto xs) { return interquartile_range(xs); });
+  add("variation_coefficient", [](auto xs) { return variation_coefficient(xs); });
+  add("root_mean_square", [](auto xs) { return root_mean_square(xs); });
+  add("abs_energy", [](auto xs) { return abs_energy(xs); });
+
+  for (const double q : {0.05, 0.1, 0.25, 0.75, 0.9, 0.95}) {
+    add("quantile_q" + std::to_string(static_cast<int>(q * 100)),
+        [q](auto xs) { return tensor::quantile(xs, q); });
+  }
+
+  // Change statistics.
+  add("mean_abs_change", [](auto xs) { return mean_abs_change(xs); });
+  add("mean_change", [](auto xs) { return mean_change(xs); });
+  add("absolute_sum_of_changes", [](auto xs) { return absolute_sum_of_changes(xs); });
+  add("mean_second_derivative_central",
+      [](auto xs) { return mean_second_derivative_central(xs); });
+
+  // Location of extrema.
+  add("first_location_of_maximum", [](auto xs) { return first_location_of_maximum(xs); });
+  add("last_location_of_maximum", [](auto xs) { return last_location_of_maximum(xs); });
+  add("first_location_of_minimum", [](auto xs) { return first_location_of_minimum(xs); });
+  add("last_location_of_minimum", [](auto xs) { return last_location_of_minimum(xs); });
+
+  // Counts, strikes, crossings, peaks.
+  add("count_above_mean", [](auto xs) { return count_above_mean(xs); });
+  add("count_below_mean", [](auto xs) { return count_below_mean(xs); });
+  add("longest_strike_above_mean", [](auto xs) { return longest_strike_above_mean(xs); });
+  add("longest_strike_below_mean", [](auto xs) { return longest_strike_below_mean(xs); });
+  add("mean_crossing_rate", [](auto xs) { return mean_crossing_rate(xs); });
+  for (const std::size_t support : {1u, 3u, 5u}) {
+    add("number_peaks_support_" + std::to_string(support),
+        [support](auto xs) { return number_peaks(xs, support); });
+  }
+  for (const double r : {1.0, 2.0, 3.0}) {
+    add("ratio_beyond_" + std::to_string(static_cast<int>(r)) + "_sigma",
+        [r](auto xs) { return ratio_beyond_r_sigma(xs, r); });
+  }
+
+  // Autocorrelation structure.
+  for (const std::size_t lag : {1u, 2u, 5u, 10u, 20u}) {
+    add("autocorrelation_lag_" + std::to_string(lag),
+        [lag](auto xs) { return tensor::autocorrelation(xs, lag); });
+  }
+
+  // Nonlinearity / complexity.
+  for (const std::size_t lag : {1u, 2u, 3u}) {
+    add("c3_lag_" + std::to_string(lag), [lag](auto xs) { return c3(xs, lag); });
+  }
+  for (const std::size_t lag : {1u, 2u, 3u}) {
+    add("time_reversal_asymmetry_lag_" + std::to_string(lag),
+        [lag](auto xs) { return time_reversal_asymmetry(xs, lag); });
+  }
+  add("cid_ce_normalized", [](auto xs) { return cid_ce(xs, true); });
+  add("cid_ce", [](auto xs) { return cid_ce(xs, false); });
+  add("approximate_entropy_m2_r02",
+      [](auto xs) { return approximate_entropy(xs, 2, 0.2); });
+  add("binned_entropy_10", [](auto xs) { return binned_entropy(xs, 10); });
+  add("benford_correlation", [](auto xs) { return benford_correlation(xs); });
+
+  // Linear trend.
+  add("linear_trend_slope", [](auto xs) { return linear_trend(xs).slope; });
+  add("linear_trend_intercept", [](auto xs) { return linear_trend(xs).intercept; });
+  add("linear_trend_r_squared", [](auto xs) { return linear_trend(xs).r_squared; });
+
+  // Spectral (power spectral density aggregates).
+  add("spectral_total_power", [](auto xs) { return spectral_summary(xs).total_power; });
+  add("spectral_centroid", [](auto xs) { return spectral_summary(xs).centroid; });
+  add("spectral_spread", [](auto xs) { return spectral_summary(xs).spread; });
+  add("spectral_entropy", [](auto xs) { return spectral_summary(xs).entropy; });
+  add("spectral_peak_frequency",
+      [](auto xs) { return spectral_summary(xs).peak_frequency; });
+  for (int band = 0; band < 4; ++band) {
+    add("spectral_band_power_" + std::to_string(band), [band](auto xs) {
+      return spectral_summary(xs).band_power[band];
+    });
+  }
+
+  return defs;
+}
+
+}  // namespace
+
+const std::vector<FeatureDef>& feature_registry() {
+  static const std::vector<FeatureDef> registry = build_registry();
+  return registry;
+}
+
+std::size_t features_per_metric() { return feature_registry().size(); }
+
+std::vector<double> compute_all_features(std::span<const double> series) {
+  const auto& registry = feature_registry();
+  std::vector<double> values;
+  values.reserve(registry.size());
+  for (const auto& def : registry) {
+    const double value = def.fn(series);
+    values.push_back(std::isfinite(value) ? value : 0.0);
+  }
+  return values;
+}
+
+}  // namespace prodigy::features

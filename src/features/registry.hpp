@@ -1,0 +1,31 @@
+// The feature registry: the named, parameterized catalog of per-series
+// extractors applied to every metric (TSFRESH computes 794 features from 63
+// characterization methods; this registry instantiates our extractor family
+// into ~70 named features per metric).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prodigy::features {
+
+using FeatureFn = std::function<double(std::span<const double>)>;
+
+struct FeatureDef {
+  std::string name;  // e.g. "autocorrelation_lag_5"
+  FeatureFn fn;
+};
+
+/// The fixed ordered registry; built once.
+const std::vector<FeatureDef>& feature_registry();
+
+/// Number of features computed per metric.
+std::size_t features_per_metric();
+
+/// Evaluates every registry feature on one series, in registry order.
+/// Non-finite results are clamped to 0.0 so the matrix stays NaN-free.
+std::vector<double> compute_all_features(std::span<const double> series);
+
+}  // namespace prodigy::features

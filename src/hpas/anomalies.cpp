@@ -1,0 +1,225 @@
+#include "hpas/anomalies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::hpas {
+
+using telemetry::ResourceState;
+
+std::string to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::None: return "none";
+    case AnomalyKind::Memleak: return "memleak";
+    case AnomalyKind::Membw: return "membw";
+    case AnomalyKind::Cpuoccupy: return "cpuoccupy";
+    case AnomalyKind::Cachecopy: return "cachecopy";
+    case AnomalyKind::Iobw: return "iobw";
+    case AnomalyKind::Netoccupy: return "netoccupy";
+  }
+  return "none";
+}
+
+AnomalyKind anomaly_kind_from_string(const std::string& name) {
+  if (name == "none") return AnomalyKind::None;
+  if (name == "memleak") return AnomalyKind::Memleak;
+  if (name == "membw") return AnomalyKind::Membw;
+  if (name == "cpuoccupy") return AnomalyKind::Cpuoccupy;
+  if (name == "cachecopy") return AnomalyKind::Cachecopy;
+  if (name == "iobw") return AnomalyKind::Iobw;
+  if (name == "netoccupy") return AnomalyKind::Netoccupy;
+  throw std::invalid_argument("unknown anomaly kind: " + name);
+}
+
+AnomalySpec healthy_spec() { return {AnomalyKind::None, 0.0, "none"}; }
+
+std::vector<AnomalySpec> table2_configurations() {
+  // Intensities map each Table-2 knob onto [0, 1]:
+  //   cpuoccupy -u 100% / 80%          -> 1.0 / 0.8
+  //   cachecopy -c L1 -m 1 / -c L2 -m 2 -> 0.5 / 0.8
+  //   membw -s 4K / 8K / 32K           -> 0.4 / 0.6 / 1.0
+  //   memleak -s 1M -p 0.2 / 3M 0.4 / 10M 1.0 -> 0.3 / 0.55 / 1.0
+  return {
+      {AnomalyKind::Cpuoccupy, 1.00, "-u 100%"},
+      {AnomalyKind::Cpuoccupy, 0.80, "-u 80%"},
+      {AnomalyKind::Cachecopy, 0.50, "-c L1 -m 1"},
+      {AnomalyKind::Cachecopy, 0.80, "-c L2 -m 2"},
+      {AnomalyKind::Membw, 0.40, "-s 4K"},
+      {AnomalyKind::Membw, 0.60, "-s 8K"},
+      {AnomalyKind::Membw, 1.00, "-s 32K"},
+      {AnomalyKind::Memleak, 0.30, "-s 1M -p 0.2"},
+      {AnomalyKind::Memleak, 0.55, "-s 3M -p 0.4"},
+      {AnomalyKind::Memleak, 1.00, "-s 10M -p 1"},
+  };
+}
+
+double expected_slowdown(const AnomalySpec& spec) noexcept {
+  const double intensity = std::clamp(spec.intensity, 0.0, 1.0);
+  switch (spec.kind) {
+    case AnomalyKind::Cpuoccupy: return 1.0 + 0.30 * intensity;
+    case AnomalyKind::Membw: return 1.0 + 0.25 * intensity;
+    case AnomalyKind::Cachecopy: return 1.0 + 0.20 * intensity;
+    case AnomalyKind::Memleak: return 1.0 + 0.10 * intensity;
+    case AnomalyKind::Iobw: return 1.0 + 0.30 * intensity;
+    case AnomalyKind::Netoccupy: return 1.0 + 0.10 * intensity;
+    case AnomalyKind::None: return 1.0;
+  }
+  return 1.0;
+}
+
+namespace {
+
+/// memleak: allocates without freeing -> monotone anonymous-memory growth;
+/// once the footprint crowds out the page cache the kernel starts reclaiming
+/// and, under the biggest configs, swapping.
+class MemleakInjector final : public AnomalyInjector {
+ public:
+  explicit MemleakInjector(double intensity) : rate_(0.05 + 0.60 * intensity) {}
+
+  void perturb(double t_frac, ResourceState& state, util::Rng& rng) override {
+    leaked_frac_ = rate_ * t_frac;  // linear growth over the run
+    state.mem_anon_frac += leaked_frac_;
+    state.mem_used_frac += leaked_frac_;
+    // Leaked pages displace page cache before they cause reclaim.
+    const double displaced = std::min(state.mem_cached_frac * 0.8, leaked_frac_ * 0.5);
+    state.mem_cached_frac -= displaced;
+    const double pressure = std::max(0.0, state.mem_used_frac - 0.75);
+    if (pressure > 0.0) {
+      state.reclaim_rate += 4000.0 * pressure * (1.0 + 0.2 * rng.gaussian());
+      state.swap_rate += 1500.0 * pressure * std::max(0.0, 1.0 + 0.3 * rng.gaussian());
+      state.major_fault_rate += 30.0 * pressure;
+      state.cpu_system += 0.04 * pressure;
+    }
+    state.page_fault_rate += 900.0 * rate_;
+  }
+
+ private:
+  double rate_;
+  double leaked_frac_ = 0.0;
+};
+
+/// membw: a streaming kernel saturating memory bandwidth; raises bandwidth
+/// pressure, steals a little CPU, and slows the victim (visible as lower
+/// effective page-fault/activity rates plus more stall-ish system time).
+class MembwInjector final : public AnomalyInjector {
+ public:
+  explicit MembwInjector(double intensity) : intensity_(intensity) {}
+
+  void perturb(double /*t_frac*/, ResourceState& state, util::Rng& rng) override {
+    state.membw_pressure += 2.2 * intensity_ * (1.0 + 0.05 * rng.gaussian());
+    state.cache_pressure += 0.7 * intensity_;
+    state.cpu_user += 0.12 * intensity_;
+    state.cpu_system += 0.03 * intensity_;
+    // The victim stalls on memory: its entire activity profile slows down.
+    const double slowdown = 0.55 * intensity_;
+    state.page_fault_rate *= 1.0 - slowdown;
+    state.ctx_switch_rate *= 1.0 - 0.45 * intensity_;
+    state.net_rate *= 1.0 - 0.4 * intensity_;
+    state.io_rate *= 1.0 - 0.3 * intensity_;
+    state.runnable_procs += 1.0 + intensity_;
+  }
+
+ private:
+  double intensity_;
+};
+
+/// cpuoccupy: a spinner pinned at -u percent utilization.
+class CpuoccupyInjector final : public AnomalyInjector {
+ public:
+  explicit CpuoccupyInjector(double utilization) : utilization_(utilization) {}
+
+  void perturb(double /*t_frac*/, ResourceState& state, util::Rng& rng) override {
+    // The spinner saturates its core even during the application's quiet
+    // phases, lifting the *floor* of CPU utilization for the whole run.
+    state.cpu_user += utilization_ * (0.9 + 0.04 * rng.gaussian());
+    state.runnable_procs += 2.0 + 4.0 * utilization_;
+    // The descheduled application makes less progress per second.
+    const double slowdown = 0.55 * utilization_;
+    state.page_fault_rate *= 1.0 - slowdown;
+    state.ctx_switch_rate *= 1.0 - 0.45 * utilization_;
+    state.net_rate *= 1.0 - 0.45 * utilization_;
+    state.io_rate *= 1.0 - 0.3 * utilization_;
+    state.interrupt_rate *= 1.0 - 0.3 * utilization_;
+  }
+
+ private:
+  double utilization_;
+};
+
+/// cachecopy: repeatedly swaps two arrays sized to a cache level; thrashes
+/// that level and inflates context switching and cache pressure.
+class CachecopyInjector final : public AnomalyInjector {
+ public:
+  explicit CachecopyInjector(double intensity) : intensity_(intensity) {}
+
+  void perturb(double t_frac, ResourceState& state, util::Rng& rng) override {
+    // The copy loop has a short duty cycle; modulate with a fast square wave.
+    const double duty = std::fmod(t_frac * 97.0, 1.0) < 0.7 ? 1.0 : 0.4;
+    state.cache_pressure += 2.0 * intensity_ * duty * (1.0 + 0.08 * rng.gaussian());
+    state.cpu_user += 0.25 * intensity_ * duty;
+    state.ctx_switch_rate += 1200.0 * intensity_ * duty;
+    state.interrupt_rate += 300.0 * intensity_ * duty;
+    // Evicted working sets mean the victim re-faults and runs slower.
+    state.page_fault_rate *= 1.0 - 0.45 * intensity_ * duty;
+    state.net_rate *= 1.0 - 0.3 * intensity_;
+    state.runnable_procs += 1.0 + intensity_;
+  }
+
+ private:
+  double intensity_;
+};
+
+/// iobw: saturates the filesystem; in the paper these runs were terminated by
+/// system administrators, but the injector exists for failure-injection tests
+/// and the Empire-style organic I/O degradation experiment.
+class IobwInjector final : public AnomalyInjector {
+ public:
+  explicit IobwInjector(double intensity) : intensity_(intensity) {}
+
+  void perturb(double /*t_frac*/, ResourceState& state, util::Rng& rng) override {
+    state.io_rate += 120.0 * intensity_ * std::max(0.0, 1.0 + 0.3 * rng.gaussian());
+    state.cpu_iowait += 0.25 * intensity_;
+    state.blocked_procs += 2.0 * intensity_;
+    state.major_fault_rate += 10.0 * intensity_;
+    state.page_fault_rate *= 1.0 - 0.3 * intensity_;
+  }
+
+ private:
+  double intensity_;
+};
+
+/// netoccupy: network contention; only observable with >= 2 nodes in HPAS,
+/// kept for completeness.
+class NetoccupyInjector final : public AnomalyInjector {
+ public:
+  explicit NetoccupyInjector(double intensity) : intensity_(intensity) {}
+
+  void perturb(double /*t_frac*/, ResourceState& state, util::Rng& rng) override {
+    state.net_rate += 80.0 * intensity_ * std::max(0.0, 1.0 + 0.2 * rng.gaussian());
+    state.interrupt_rate += 1200.0 * intensity_;
+    state.cpu_system += 0.06 * intensity_;
+  }
+
+ private:
+  double intensity_;
+};
+
+}  // namespace
+
+std::unique_ptr<AnomalyInjector> make_injector(const AnomalySpec& spec,
+                                               util::Rng& /*rng*/) {
+  const double intensity = std::clamp(spec.intensity, 0.0, 1.0);
+  switch (spec.kind) {
+    case AnomalyKind::None: return nullptr;
+    case AnomalyKind::Memleak: return std::make_unique<MemleakInjector>(intensity);
+    case AnomalyKind::Membw: return std::make_unique<MembwInjector>(intensity);
+    case AnomalyKind::Cpuoccupy: return std::make_unique<CpuoccupyInjector>(intensity);
+    case AnomalyKind::Cachecopy: return std::make_unique<CachecopyInjector>(intensity);
+    case AnomalyKind::Iobw: return std::make_unique<IobwInjector>(intensity);
+    case AnomalyKind::Netoccupy: return std::make_unique<NetoccupyInjector>(intensity);
+  }
+  return nullptr;
+}
+
+}  // namespace prodigy::hpas

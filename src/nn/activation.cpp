@@ -1,0 +1,71 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::nn {
+
+void apply_activation(Activation act, tensor::Matrix& values) {
+  double* data = values.data();
+  const std::size_t n = values.size();
+  switch (act) {
+    case Activation::Linear:
+      return;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (data[i] < 0.0) data[i] = 0.0;
+      }
+      return;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < n; ++i) data[i] = std::tanh(data[i]);
+      return;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < n; ++i) data[i] = 1.0 / (1.0 + std::exp(-data[i]));
+      return;
+  }
+}
+
+void apply_activation_gradient(Activation act, const tensor::Matrix& activated,
+                               tensor::Matrix& grad) {
+  if (!activated.same_shape(grad)) {
+    throw std::invalid_argument("apply_activation_gradient: shape mismatch");
+  }
+  const double* a = activated.data();
+  double* g = grad.data();
+  const std::size_t n = grad.size();
+  switch (act) {
+    case Activation::Linear:
+      return;
+    case Activation::ReLU:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] <= 0.0) g[i] = 0.0;
+      }
+      return;
+    case Activation::Tanh:
+      for (std::size_t i = 0; i < n; ++i) g[i] *= 1.0 - a[i] * a[i];
+      return;
+    case Activation::Sigmoid:
+      for (std::size_t i = 0; i < n; ++i) g[i] *= a[i] * (1.0 - a[i]);
+      return;
+  }
+}
+
+std::string to_string(Activation act) {
+  switch (act) {
+    case Activation::Linear: return "linear";
+    case Activation::ReLU: return "relu";
+    case Activation::Tanh: return "tanh";
+    case Activation::Sigmoid: return "sigmoid";
+  }
+  return "linear";
+}
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "linear") return Activation::Linear;
+  if (name == "relu") return Activation::ReLU;
+  if (name == "tanh") return Activation::Tanh;
+  if (name == "sigmoid") return Activation::Sigmoid;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+}  // namespace prodigy::nn

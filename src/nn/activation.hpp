@@ -1,0 +1,23 @@
+// Activation functions applied element-wise by Dense layers.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+#include <string>
+
+namespace prodigy::nn {
+
+enum class Activation { Linear, ReLU, Tanh, Sigmoid };
+
+/// Applies the activation element-wise in place.
+void apply_activation(Activation act, tensor::Matrix& values);
+
+/// Multiplies `grad` in place by the activation derivative evaluated from the
+/// *post-activation* values (all supported activations admit this form).
+void apply_activation_gradient(Activation act, const tensor::Matrix& activated,
+                               tensor::Matrix& grad);
+
+std::string to_string(Activation act);
+Activation activation_from_string(const std::string& name);
+
+}  // namespace prodigy::nn

@@ -1,0 +1,89 @@
+#include "nn/dense.hpp"
+
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace prodigy::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Activation act,
+             util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      act_(act),
+      weights_(in_features, out_features),
+      bias_(out_features, 0.0),
+      weight_grad_(in_features, out_features),
+      bias_grad_(out_features, 0.0) {
+  const double fan_in = static_cast<double>(in_features);
+  const double fan_out = static_cast<double>(out_features);
+  // He initialization suits ReLU; Xavier/Glorot suits saturating/linear units.
+  const double scale = act == Activation::ReLU
+                           ? std::sqrt(2.0 / fan_in)
+                           : std::sqrt(2.0 / (fan_in + fan_out));
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    weights_.data()[i] = rng.gaussian(0.0, scale);
+  }
+}
+
+tensor::Matrix Dense::forward(const tensor::Matrix& input) {
+  cached_input_ = input;
+  tensor::Matrix out = tensor::matmul(input, weights_);
+  tensor::add_row_vector(out, bias_);
+  apply_activation(act_, out);
+  cached_output_ = out;
+  return out;
+}
+
+tensor::Matrix Dense::forward_inference(const tensor::Matrix& input) const {
+  tensor::Matrix out = tensor::matmul(input, weights_);
+  tensor::add_row_vector(out, bias_);
+  apply_activation(act_, out);
+  return out;
+}
+
+tensor::Matrix Dense::backward(const tensor::Matrix& grad_output) {
+  tensor::Matrix grad_pre = grad_output;
+  apply_activation_gradient(act_, cached_output_, grad_pre);
+
+  // Accumulate parameter gradients.
+  weight_grad_ += tensor::matmul_transposed_a(cached_input_, grad_pre);
+  const auto bias_delta = tensor::column_sums(grad_pre);
+  for (std::size_t i = 0; i < bias_grad_.size(); ++i) bias_grad_[i] += bias_delta[i];
+
+  return tensor::matmul_transposed_b(grad_pre, weights_);
+}
+
+void Dense::zero_gradients() noexcept {
+  std::fill(weight_grad_.storage().begin(), weight_grad_.storage().end(), 0.0);
+  std::fill(bias_grad_.begin(), bias_grad_.end(), 0.0);
+}
+
+void Dense::save(util::BinaryWriter& writer) const {
+  writer.write_u64(in_);
+  writer.write_u64(out_);
+  writer.write_string(to_string(act_));
+  writer.write_f64_vector(weights_.storage());
+  writer.write_f64_vector(bias_);
+}
+
+Dense Dense::load(util::BinaryReader& reader) {
+  Dense layer;
+  layer.in_ = reader.read_u64();
+  layer.out_ = reader.read_u64();
+  layer.act_ = activation_from_string(reader.read_string());
+  layer.weights_ = tensor::Matrix(layer.in_, layer.out_);
+  layer.weights_.storage() = reader.read_f64_vector();
+  if (layer.weights_.storage().size() != layer.in_ * layer.out_) {
+    throw std::runtime_error("Dense::load: weight size mismatch");
+  }
+  layer.bias_ = reader.read_f64_vector();
+  if (layer.bias_.size() != layer.out_) {
+    throw std::runtime_error("Dense::load: bias size mismatch");
+  }
+  layer.weight_grad_ = tensor::Matrix(layer.in_, layer.out_);
+  layer.bias_grad_.assign(layer.out_, 0.0);
+  return layer;
+}
+
+}  // namespace prodigy::nn

@@ -1,0 +1,62 @@
+// Fully-connected layer with manual backprop.
+#pragma once
+
+#include "nn/activation.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace prodigy::nn {
+
+class Dense {
+ public:
+  Dense() = default;
+
+  /// Initializes weights with He (ReLU) or Xavier (otherwise) scaling.
+  Dense(std::size_t in_features, std::size_t out_features, Activation act,
+        util::Rng& rng);
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+  Activation activation() const noexcept { return act_; }
+
+  /// Forward pass; caches input and activated output for backward().
+  tensor::Matrix forward(const tensor::Matrix& input);
+
+  /// Forward pass without caching (inference path; const).
+  tensor::Matrix forward_inference(const tensor::Matrix& input) const;
+
+  /// Given dL/d(output), accumulates weight/bias gradients and returns
+  /// dL/d(input).  Must follow a forward() call with the matching batch.
+  tensor::Matrix backward(const tensor::Matrix& grad_output);
+
+  void zero_gradients() noexcept;
+
+  tensor::Matrix& weights() noexcept { return weights_; }
+  const tensor::Matrix& weights() const noexcept { return weights_; }
+  std::vector<double>& bias() noexcept { return bias_; }
+  const std::vector<double>& bias() const noexcept { return bias_; }
+  tensor::Matrix& weight_grad() noexcept { return weight_grad_; }
+  std::vector<double>& bias_grad() noexcept { return bias_grad_; }
+
+  std::size_t parameter_count() const noexcept {
+    return weights_.size() + bias_.size();
+  }
+
+  void save(util::BinaryWriter& writer) const;
+  static Dense load(util::BinaryReader& reader);
+
+ private:
+  std::size_t in_ = 0;
+  std::size_t out_ = 0;
+  Activation act_ = Activation::Linear;
+  tensor::Matrix weights_;       // (in x out)
+  std::vector<double> bias_;     // (out)
+  tensor::Matrix weight_grad_;   // (in x out)
+  std::vector<double> bias_grad_;
+
+  tensor::Matrix cached_input_;
+  tensor::Matrix cached_output_;  // post-activation
+};
+
+}  // namespace prodigy::nn

@@ -1,0 +1,63 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::nn {
+
+LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target) {
+  if (!pred.same_shape(target)) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  LossResult result;
+  result.grad = tensor::Matrix(pred.rows(), pred.cols());
+  const double scale = pred.size() == 0 ? 0.0 : 1.0 / static_cast<double>(pred.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff = pred.data()[i] - target.data()[i];
+    acc += diff * diff;
+    result.grad.data()[i] = 2.0 * diff * scale;
+  }
+  result.value = acc * scale;
+  return result;
+}
+
+LossResult mae_loss(const tensor::Matrix& pred, const tensor::Matrix& target) {
+  if (!pred.same_shape(target)) {
+    throw std::invalid_argument("mae_loss: shape mismatch");
+  }
+  LossResult result;
+  result.grad = tensor::Matrix(pred.rows(), pred.cols());
+  const double scale = pred.size() == 0 ? 0.0 : 1.0 / static_cast<double>(pred.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff = pred.data()[i] - target.data()[i];
+    acc += std::abs(diff);
+    result.grad.data()[i] = (diff > 0.0 ? 1.0 : diff < 0.0 ? -1.0 : 0.0) * scale;
+  }
+  result.value = acc * scale;
+  return result;
+}
+
+KlResult gaussian_kl(const tensor::Matrix& mu, const tensor::Matrix& logvar) {
+  if (!mu.same_shape(logvar)) {
+    throw std::invalid_argument("gaussian_kl: shape mismatch");
+  }
+  KlResult result;
+  result.grad_mu = tensor::Matrix(mu.rows(), mu.cols());
+  result.grad_logvar = tensor::Matrix(mu.rows(), mu.cols());
+  const double batch = mu.rows() == 0 ? 1.0 : static_cast<double>(mu.rows());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i) {
+    const double m = mu.data()[i];
+    const double lv = logvar.data()[i];
+    const double var = std::exp(lv);
+    acc += -0.5 * (1.0 + lv - m * m - var);
+    result.grad_mu.data()[i] = m / batch;
+    result.grad_logvar.data()[i] = 0.5 * (var - 1.0) / batch;
+  }
+  result.value = acc / batch;
+  return result;
+}
+
+}  // namespace prodigy::nn

@@ -1,0 +1,29 @@
+// Loss functions: scalar value + gradient w.r.t. predictions, both averaged
+// over batch elements so learning rates are batch-size independent.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace prodigy::nn {
+
+struct LossResult {
+  double value = 0.0;
+  tensor::Matrix grad;  // dL/dpred, same shape as pred
+};
+
+/// Mean squared error over all elements.
+LossResult mse_loss(const tensor::Matrix& pred, const tensor::Matrix& target);
+
+/// Mean absolute error over all elements (subgradient 0 at ties).
+LossResult mae_loss(const tensor::Matrix& pred, const tensor::Matrix& target);
+
+/// KL( N(mu, exp(logvar)) || N(0, I) ), averaged over the batch.
+/// Gradients are returned for mu and logvar separately.
+struct KlResult {
+  double value = 0.0;
+  tensor::Matrix grad_mu;
+  tensor::Matrix grad_logvar;
+};
+KlResult gaussian_kl(const tensor::Matrix& mu, const tensor::Matrix& logvar);
+
+}  // namespace prodigy::nn

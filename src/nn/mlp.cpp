@@ -1,0 +1,76 @@
+#include "nn/mlp.hpp"
+
+#include <stdexcept>
+
+namespace prodigy::nn {
+
+Mlp::Mlp(std::size_t input_dim, const std::vector<LayerSpec>& specs, util::Rng& rng)
+    : input_dim_(input_dim) {
+  if (input_dim == 0) throw std::invalid_argument("Mlp: input_dim must be > 0");
+  std::size_t in = input_dim;
+  layers_.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (spec.units == 0) throw std::invalid_argument("Mlp: layer units must be > 0");
+    layers_.emplace_back(in, spec.units, spec.activation, rng);
+    in = spec.units;
+  }
+}
+
+tensor::Matrix Mlp::forward(const tensor::Matrix& input) {
+  tensor::Matrix current = input;
+  for (auto& layer : layers_) current = layer.forward(current);
+  return current;
+}
+
+tensor::Matrix Mlp::forward_inference(const tensor::Matrix& input) const {
+  tensor::Matrix current = input;
+  for (const auto& layer : layers_) current = layer.forward_inference(current);
+  return current;
+}
+
+tensor::Matrix Mlp::backward(const tensor::Matrix& grad_output) {
+  tensor::Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = it->backward(grad);
+  }
+  return grad;
+}
+
+void Mlp::zero_gradients() noexcept {
+  for (auto& layer : layers_) layer.zero_gradients();
+}
+
+void Mlp::register_with(Optimizer& optimizer) {
+  for (auto& layer : layers_) {
+    optimizer.register_parameters({layer.weights().data(),
+                                   layer.weight_grad().data(),
+                                   layer.weights().size()});
+    optimizer.register_parameters({layer.bias().data(), layer.bias_grad().data(),
+                                   layer.bias().size()});
+  }
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+void Mlp::save(util::BinaryWriter& writer) const {
+  writer.write_u64(input_dim_);
+  writer.write_u64(layers_.size());
+  for (const auto& layer : layers_) layer.save(writer);
+}
+
+Mlp Mlp::load(util::BinaryReader& reader) {
+  Mlp mlp;
+  mlp.input_dim_ = reader.read_u64();
+  const auto count = reader.read_u64();
+  mlp.layers_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mlp.layers_.push_back(Dense::load(reader));
+  }
+  return mlp;
+}
+
+}  // namespace prodigy::nn

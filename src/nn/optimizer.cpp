@@ -1,0 +1,53 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace prodigy::nn {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::register_parameters(ParamView view) {
+  views_.push_back(view);
+  velocity_.emplace_back(view.size, 0.0);
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < views_.size(); ++k) {
+    auto& view = views_[k];
+    auto& vel = velocity_[k];
+    for (std::size_t i = 0; i < view.size; ++i) {
+      vel[i] = momentum_ * vel[i] - lr_ * view.grad[i];
+      view.param[i] += vel[i];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::register_parameters(ParamView view) {
+  views_.push_back(view);
+  m_.emplace_back(view.size, 0.0);
+  v_.emplace_back(view.size, 0.0);
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < views_.size(); ++k) {
+    auto& view = views_[k];
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < view.size; ++i) {
+      const double g = view.grad[i];
+      m[i] = beta1_ * m[i] + (1.0 - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0 - beta2_) * g * g;
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      view.param[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace prodigy::nn

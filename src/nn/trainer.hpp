@@ -1,0 +1,61 @@
+// Shared training-loop plumbing: option bundle, mini-batch scheduling,
+// early stopping, and a plain-autoencoder fit used by tests and baselines.
+#pragma once
+
+#include "nn/mlp.hpp"
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace prodigy::nn {
+
+struct TrainOptions {
+  std::size_t epochs = 100;
+  std::size_t batch_size = 64;
+  double learning_rate = 1e-3;
+  /// Fraction of the training set carved off for validation (0 disables).
+  double validation_split = 0.0;
+  /// Stop after this many epochs without validation improvement (0 disables).
+  std::size_t early_stopping_patience = 0;
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct TrainHistory {
+  std::vector<double> train_loss;
+  std::vector<double> validation_loss;
+  std::size_t epochs_run = 0;
+  bool stopped_early = false;
+};
+
+/// Shuffled contiguous batches over n rows for one epoch.
+std::vector<std::vector<std::size_t>> make_batches(std::size_t n,
+                                                   std::size_t batch_size,
+                                                   util::Rng& rng);
+
+/// Tracks the best validation loss and signals when patience is exhausted.
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(std::size_t patience) : patience_(patience) {}
+
+  /// Returns true when training should stop.
+  bool update(double validation_loss) noexcept;
+
+  double best() const noexcept { return best_; }
+  bool enabled() const noexcept { return patience_ > 0; }
+
+ private:
+  std::size_t patience_;
+  std::size_t since_best_ = 0;
+  double best_ = std::numeric_limits<double>::infinity();
+};
+
+/// Trains `model` to reconstruct its input with MSE loss.  Used directly by
+/// plain autoencoders; the VAE and USAD own richer loops with the same steps.
+TrainHistory fit_reconstruction(Mlp& model, const tensor::Matrix& data,
+                                const TrainOptions& options);
+
+}  // namespace prodigy::nn

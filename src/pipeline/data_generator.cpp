@@ -1,0 +1,26 @@
+#include "pipeline/data_generator.hpp"
+
+namespace prodigy::pipeline {
+
+PreparedNode DataGenerator::prepare_node(const telemetry::NodeSeries& node) const {
+  PreparedNode prepared;
+  prepared.meta.job_id = node.job_id;
+  prepared.meta.component_id = node.component_id;
+  prepared.meta.app = node.app;
+  prepared.meta.anomaly = node.anomaly;
+  prepared.label = node.label;
+  prepared.values = preprocess_node(node.values, options_);
+  return prepared;
+}
+
+std::vector<PreparedNode> DataGenerator::prepare(
+    const telemetry::JobTelemetry& job) const {
+  std::vector<PreparedNode> prepared;
+  prepared.reserve(job.nodes.size());
+  for (const auto& node : job.nodes) {
+    prepared.push_back(prepare_node(node));
+  }
+  return prepared;
+}
+
+}  // namespace prodigy::pipeline

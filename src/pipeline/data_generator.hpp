@@ -1,0 +1,37 @@
+// The paper's DataGenerator class (Fig. 3): takes raw sampler data for a
+// job, applies preprocessing per compute node, and hands prepared
+// (job_id, component_id, timestamp)-indexed frames to the DataPipeline.
+#pragma once
+
+#include "features/feature_matrix.hpp"
+#include "pipeline/preprocess.hpp"
+#include "telemetry/generator.hpp"
+
+#include <vector>
+
+namespace prodigy::pipeline {
+
+/// One preprocessed compute-node frame, ready for feature extraction.
+struct PreparedNode {
+  features::SampleMeta meta;
+  int label = 0;
+  tensor::Matrix values;  // (T' x M), NaN-free, counters differenced
+};
+
+class DataGenerator {
+ public:
+  explicit DataGenerator(PreprocessOptions options = {}) : options_(options) {}
+
+  const PreprocessOptions& options() const noexcept { return options_; }
+
+  /// Preprocesses every node of a job.
+  std::vector<PreparedNode> prepare(const telemetry::JobTelemetry& job) const;
+
+  /// Preprocesses a single node series.
+  PreparedNode prepare_node(const telemetry::NodeSeries& node) const;
+
+ private:
+  PreprocessOptions options_;
+};
+
+}  // namespace prodigy::pipeline

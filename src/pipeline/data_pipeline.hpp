@@ -1,0 +1,55 @@
+// The paper's DataPipeline class (Fig. 3): FeatureExtractor + Scaler, the
+// common operations shared by every ML model before training and evaluation.
+// Also hosts the streaming dataset builders used by the experiments.
+#pragma once
+
+#include "features/chi_square.hpp"
+#include "features/feature_matrix.hpp"
+#include "pipeline/data_generator.hpp"
+#include "pipeline/scaler.hpp"
+#include "telemetry/dataset_builder.hpp"
+
+namespace prodigy::pipeline {
+
+class DataPipeline {
+ public:
+  explicit DataPipeline(PreprocessOptions preprocess = {},
+                        ScalerKind scaler_kind = ScalerKind::MinMax)
+      : generator_(preprocess), scaler_(scaler_kind) {}
+
+  /// FeatureExtractor: prepared node frame -> one feature row.
+  static std::vector<double> extract(const PreparedNode& node);
+
+  /// Builds the labeled feature dataset for a full telemetry collection,
+  /// streaming runs so raw telemetry never accumulates (paper-scale safe).
+  static features::FeatureDataset build_dataset(const telemetry::DatasetSpec& spec,
+                                                const PreprocessOptions& preprocess);
+
+  /// Builds a feature dataset from explicit jobs (production experiments).
+  static features::FeatureDataset build_from_jobs(
+      const std::vector<telemetry::JobTelemetry>& jobs,
+      const PreprocessOptions& preprocess);
+
+  /// Heterogeneous variant: jobs whose node frames use a custom column
+  /// layout (e.g. CPU + GPU catalogs); `metric_names` and `kinds` describe
+  /// every column of the raw matrices.
+  static features::FeatureDataset build_from_jobs(
+      const std::vector<telemetry::JobTelemetry>& jobs,
+      const std::vector<std::string>& metric_names,
+      const std::vector<telemetry::MetricKind>& kinds,
+      const PreprocessOptions& preprocess);
+
+  /// Scaler access (fit on training features, reuse at inference).
+  Scaler& scaler() noexcept { return scaler_; }
+  const Scaler& scaler() const noexcept { return scaler_; }
+  DataGenerator& generator() noexcept { return generator_; }
+
+ private:
+  DataGenerator generator_;
+  Scaler scaler_;
+};
+
+/// Column names for the full catalog feature matrix.
+std::vector<std::string> full_feature_names();
+
+}  // namespace prodigy::pipeline

@@ -1,0 +1,93 @@
+#include "pipeline/preprocess.hpp"
+
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodigy::pipeline {
+
+void linear_interpolate(std::span<double> series) {
+  const std::size_t n = series.size();
+  std::size_t i = 0;
+  std::ptrdiff_t last_finite = -1;
+  while (i < n) {
+    if (std::isfinite(series[i])) {
+      if (last_finite >= 0 && static_cast<std::size_t>(last_finite) + 1 < i) {
+        // Interpolate the gap (last_finite, i).
+        const double lo = series[static_cast<std::size_t>(last_finite)];
+        const double hi = series[i];
+        const double span = static_cast<double>(i) - static_cast<double>(last_finite);
+        for (std::size_t g = static_cast<std::size_t>(last_finite) + 1; g < i; ++g) {
+          const double t = (static_cast<double>(g) - static_cast<double>(last_finite)) / span;
+          series[g] = lo + (hi - lo) * t;
+        }
+      } else if (last_finite < 0 && i > 0) {
+        // Leading gap: back-fill with first finite value.
+        for (std::size_t g = 0; g < i; ++g) series[g] = series[i];
+      }
+      last_finite = static_cast<std::ptrdiff_t>(i);
+    }
+    ++i;
+  }
+  if (last_finite < 0) {
+    std::fill(series.begin(), series.end(), 0.0);
+  } else if (static_cast<std::size_t>(last_finite) + 1 < n) {
+    // Trailing gap: forward-fill.
+    const double value = series[static_cast<std::size_t>(last_finite)];
+    for (std::size_t g = static_cast<std::size_t>(last_finite) + 1; g < n; ++g) {
+      series[g] = value;
+    }
+  }
+}
+
+std::vector<double> counter_to_rate(std::span<const double> series) {
+  std::vector<double> rates(series.size(), 0.0);
+  if (series.size() < 2) return rates;
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    rates[t] = series[t] - series[t - 1];
+  }
+  rates[0] = rates[1];  // keep length aligned with the gauges
+  return rates;
+}
+
+tensor::Matrix preprocess_node(const tensor::Matrix& raw,
+                               const PreprocessOptions& options) {
+  static const std::vector<telemetry::MetricKind> kinds = [] {
+    std::vector<telemetry::MetricKind> out;
+    for (const auto& spec : telemetry::metric_catalog()) out.push_back(spec.kind);
+    return out;
+  }();
+  return preprocess_node(raw, kinds, options);
+}
+
+tensor::Matrix preprocess_node(const tensor::Matrix& raw,
+                               std::span<const telemetry::MetricKind> kinds,
+                               const PreprocessOptions& options) {
+  const std::size_t timestamps = raw.rows();
+  const std::size_t metrics = raw.cols();
+
+  // Work column-by-column: interpolate, then difference counters.
+  tensor::Matrix cleaned(timestamps, metrics);
+  for (std::size_t m = 0; m < metrics; ++m) {
+    auto series = raw.column(m);
+    if (options.interpolate) linear_interpolate(series);
+    const bool is_counter =
+        m < kinds.size() && kinds[m] == telemetry::MetricKind::Counter;
+    if (options.diff_counters && is_counter) {
+      const auto rates = counter_to_rate(series);
+      cleaned.set_column(m, rates);
+    } else {
+      cleaned.set_column(m, series);
+    }
+  }
+
+  // Trim initialization/termination phases, keeping at least min_timestamps.
+  auto trim = static_cast<std::size_t>(std::max(0.0, options.trim_seconds));
+  const std::size_t min_keep = std::max<std::size_t>(1, options.min_timestamps);
+  while (trim > 0 && timestamps < 2 * trim + min_keep) trim /= 2;
+  const std::size_t kept = timestamps - 2 * trim;
+  return cleaned.slice_rows(trim, kept);
+}
+
+}  // namespace prodigy::pipeline

@@ -1,0 +1,43 @@
+// Raw-telemetry preprocessing (paper §4.2.1, §5.4.1):
+//  * linear interpolation over samples lost during collection,
+//  * first-differencing of accumulated counters so models see rates,
+//  * trimming the first/last 60 s (initialization/termination phases).
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "tensor/matrix.hpp"
+
+#include <span>
+#include <vector>
+
+namespace prodigy::pipeline {
+
+struct PreprocessOptions {
+  double trim_seconds = 60.0;  // dropped from each end, clamped to fit
+  bool interpolate = true;
+  bool diff_counters = true;
+  /// Minimum timestamps that must survive trimming.
+  std::size_t min_timestamps = 16;
+};
+
+/// Fills NaN gaps by linear interpolation between finite neighbours;
+/// leading/trailing gaps are filled with the nearest finite value.
+/// An all-NaN series becomes all zeros.
+void linear_interpolate(std::span<double> series);
+
+/// First difference (x[t] - x[t-1]) with the same length as the input
+/// (element 0 duplicates element 1's diff so lengths stay aligned).
+std::vector<double> counter_to_rate(std::span<const double> series);
+
+/// Full node preprocessing with explicit per-column kinds (heterogeneous
+/// frames, e.g. CPU + GPU catalogs concatenated).
+tensor::Matrix preprocess_node(const tensor::Matrix& raw,
+                               std::span<const telemetry::MetricKind> kinds,
+                               const PreprocessOptions& options);
+
+/// Full node preprocessing over the standard metric catalog.  `raw` is
+/// (T x M) in catalog column order; returns the cleaned (T' x M) matrix.
+tensor::Matrix preprocess_node(const tensor::Matrix& raw,
+                               const PreprocessOptions& options);
+
+}  // namespace prodigy::pipeline

@@ -1,0 +1,99 @@
+#include "pipeline/scaler.hpp"
+
+#include "tensor/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::pipeline {
+
+std::string to_string(ScalerKind kind) {
+  return kind == ScalerKind::MinMax ? "minmax" : "standard";
+}
+
+ScalerKind scaler_kind_from_string(const std::string& name) {
+  if (name == "minmax") return ScalerKind::MinMax;
+  if (name == "standard") return ScalerKind::Standard;
+  throw std::invalid_argument("unknown scaler kind: " + name);
+}
+
+void Scaler::fit(const tensor::Matrix& X) {
+  if (X.rows() == 0) throw std::invalid_argument("Scaler::fit: empty matrix");
+  offset_.assign(X.cols(), 0.0);
+  scale_.assign(X.cols(), 1.0);
+  for (std::size_t c = 0; c < X.cols(); ++c) {
+    const auto column = X.column(c);
+    if (kind_ == ScalerKind::MinMax) {
+      const double lo = tensor::min_value(column);
+      const double hi = tensor::max_value(column);
+      offset_[c] = lo;
+      scale_[c] = hi > lo ? hi - lo : 1.0;
+    } else {
+      const double mean = tensor::mean(column);
+      const double sd = tensor::stddev(column);
+      offset_[c] = mean;
+      scale_[c] = sd > 0.0 ? sd : 1.0;
+    }
+  }
+}
+
+tensor::Matrix Scaler::transform(const tensor::Matrix& X) const {
+  if (!fitted()) throw std::logic_error("Scaler::transform before fit");
+  if (X.cols() != offset_.size()) {
+    throw std::invalid_argument("Scaler::transform: column count mismatch");
+  }
+  tensor::Matrix out(X.rows(), X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const double* in_row = X.data() + r * X.cols();
+    double* out_row = out.data() + r * X.cols();
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      out_row[c] = (in_row[c] - offset_[c]) / scale_[c];
+    }
+  }
+  return out;
+}
+
+tensor::Matrix Scaler::fit_transform(const tensor::Matrix& X) {
+  fit(X);
+  return transform(X);
+}
+
+tensor::Matrix Scaler::inverse_transform(const tensor::Matrix& X) const {
+  if (!fitted()) throw std::logic_error("Scaler::inverse_transform before fit");
+  if (X.cols() != offset_.size()) {
+    throw std::invalid_argument("Scaler::inverse_transform: column count mismatch");
+  }
+  tensor::Matrix out(X.rows(), X.cols());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const double* in_row = X.data() + r * X.cols();
+    double* out_row = out.data() + r * X.cols();
+    for (std::size_t c = 0; c < X.cols(); ++c) {
+      out_row[c] = in_row[c] * scale_[c] + offset_[c];
+    }
+  }
+  return out;
+}
+
+namespace {
+constexpr std::uint64_t kScalerMagic = 0x50524f5343414c45ULL;  // "PROSCALE"
+}
+
+void Scaler::save(util::BinaryWriter& writer) const {
+  writer.write_magic(kScalerMagic, 1);
+  writer.write_string(to_string(kind_));
+  writer.write_f64_vector(offset_);
+  writer.write_f64_vector(scale_);
+}
+
+Scaler Scaler::load(util::BinaryReader& reader) {
+  reader.expect_magic(kScalerMagic, 1);
+  Scaler scaler(scaler_kind_from_string(reader.read_string()));
+  scaler.offset_ = reader.read_f64_vector();
+  scaler.scale_ = reader.read_f64_vector();
+  if (scaler.offset_.size() != scaler.scale_.size()) {
+    throw std::runtime_error("Scaler::load: corrupt buffers");
+  }
+  return scaler;
+}
+
+}  // namespace prodigy::pipeline

@@ -1,0 +1,33 @@
+// Train/test splitting strategies (paper §5.4.2):
+//  * the Prodigy split: 20-80 stratified, then the training side's anomaly
+//    ratio is capped (10% in the paper, motivated by the observed 2-7%
+//    outlier rate on Eclipse) by moving excess anomalous samples to test;
+//  * stratified k-fold for the Figure-5 cross-validated comparison.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace prodigy::pipeline {
+
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified train/test split preserving the class distribution.
+SplitIndices stratified_split(const std::vector<int>& labels, double train_fraction,
+                              std::uint64_t seed);
+
+/// The paper's split: stratified `train_fraction` split, then anomalous
+/// training samples beyond `train_anomaly_ratio` are moved to the test side.
+SplitIndices prodigy_split(const std::vector<int>& labels, double train_fraction,
+                           double train_anomaly_ratio, std::uint64_t seed);
+
+/// Stratified k-fold; fold i's test set is the i-th stratified slice.
+std::vector<SplitIndices> stratified_kfold(const std::vector<int>& labels,
+                                           std::size_t folds, std::uint64_t seed);
+
+}  // namespace prodigy::pipeline

@@ -1,0 +1,60 @@
+// Application behaviour profiles for the simulated systems.
+//
+// Each profile captures, at a coarse level, how one of the paper's Table-1
+// applications exercises a compute node: CPU intensity, memory footprint and
+// growth, I/O and communication phases, and the period/shape of its compute
+// phases.  A run samples per-run and per-node multipliers so repeated runs of
+// the same input deck show the run-to-run variability production systems do.
+#pragma once
+
+#include "telemetry/resource_state.hpp"
+#include "util/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace prodigy::telemetry {
+
+struct AppProfile {
+  std::string name;
+  double cpu_intensity = 0.6;     // sustained user-CPU fraction at phase peak
+  double mem_footprint = 0.3;     // steady-state fraction of RAM used
+  double mem_ramp = 0.05;         // extra footprint accumulated over the run
+  double cache_intensity = 0.3;   // cache traffic of the kernel
+  double membw_intensity = 0.3;   // memory-bandwidth demand
+  double io_intensity = 0.1;      // checkpoint/output I/O level
+  double io_period_s = 120.0;     // seconds between I/O bursts
+  double net_intensity = 0.2;     // halo-exchange/collective traffic
+  double phase_period_s = 40.0;   // compute-phase period
+  double phase_depth = 0.3;       // modulation depth of the phases
+  double burstiness = 0.1;        // random activity spikes
+};
+
+/// Per-run random variation applied on top of a profile (input deck held
+/// fixed; placement, OS noise, and network neighbours still vary).
+struct RunVariation {
+  double cpu_scale = 1.0;
+  double mem_scale = 1.0;
+  double rate_scale = 1.0;
+  double phase_offset = 0.0;  // seconds
+};
+
+RunVariation sample_run_variation(util::Rng& rng, double spread = 0.06);
+
+/// Resource state of a healthy node running `app` at second `t` of `duration`.
+ResourceState state_at(const AppProfile& app, const RunVariation& variation,
+                       double t, double duration, util::Rng& rng);
+
+/// Eclipse applications (Table 1): real apps + ECP proxy suite.
+const std::vector<AppProfile>& eclipse_applications();
+
+/// Volta applications (Table 1): NAS suite, Mantevo suite, Kripke.
+const std::vector<AppProfile>& volta_applications();
+
+/// The Empire plasma-physics application of the §6.2 production experiment.
+const AppProfile& empire_application();
+
+/// Looks up any known profile by name; throws std::out_of_range if unknown.
+const AppProfile& application_by_name(const std::string& name);
+
+}  // namespace prodigy::telemetry

@@ -1,0 +1,102 @@
+#include "telemetry/dataset_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodigy::telemetry {
+
+SystemSpec eclipse_system() {
+  return {"Eclipse", 128.0 * 1024.0 * 1024.0, eclipse_applications(), {4, 8, 16}};
+}
+
+SystemSpec volta_system() {
+  return {"Volta", 64.0 * 1024.0 * 1024.0, volta_applications(), {4, 8, 16}};
+}
+
+std::size_t DatasetSpec::approx_samples() const {
+  // Node counts cycle 4, 8, 16 -> mean 28/3 nodes per run.
+  double mean_nodes = 0.0;
+  for (const auto n : system.node_counts) mean_nodes += static_cast<double>(n);
+  mean_nodes /= static_cast<double>(std::max<std::size_t>(1, system.node_counts.size()));
+  return static_cast<std::size_t>(
+      static_cast<double>((healthy_runs_per_app + anomalous_runs_per_app) *
+                          system.apps.size()) *
+      mean_nodes);
+}
+
+namespace {
+
+std::size_t scaled(double base, double scale) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(base * scale)));
+}
+
+}  // namespace
+
+DatasetSpec eclipse_dataset_spec(double scale, double duration_s) {
+  DatasetSpec spec;
+  spec.system = eclipse_system();
+  // Paper: 24,566 samples, 6,325 healthy.  With 6 apps and a mean of 9.33
+  // nodes/run that is ~113 healthy and ~326 anomalous runs per application.
+  spec.healthy_runs_per_app = scaled(113.0, scale);
+  spec.anomalous_runs_per_app = scaled(326.0, scale);
+  spec.duration_s = duration_s;
+  spec.seed = 0xec1195e;
+  return spec;
+}
+
+DatasetSpec volta_dataset_spec(double scale, double duration_s) {
+  DatasetSpec spec;
+  spec.system = volta_system();
+  // Paper: 20,915 samples, 18,980 healthy, 11 applications.
+  spec.healthy_runs_per_app = scaled(185.0, scale);
+  spec.anomalous_runs_per_app = scaled(19.0, scale);
+  spec.duration_s = duration_s;
+  spec.seed = 0x0117a;
+  return spec;
+}
+
+std::size_t run_count(const DatasetSpec& spec) {
+  return (spec.healthy_runs_per_app + spec.anomalous_runs_per_app) *
+         spec.system.apps.size();
+}
+
+void for_each_run(const DatasetSpec& spec,
+                  const std::function<void(const JobTelemetry&)>& consume) {
+  const auto anomalies = hpas::table2_configurations();
+  std::int64_t job_id = 1000;
+  std::int64_t component_base = 1;
+  util::Rng seed_rng(spec.seed);
+  // Global cycle over the Table-2 configurations so every scale mixes all
+  // anomaly types (a per-app cycle would give each app a single type when
+  // anomalous_runs_per_app < 10).
+  std::size_t anomaly_cursor = 0;
+
+  for (const auto& app : spec.system.apps) {
+    const std::size_t total_runs =
+        spec.healthy_runs_per_app + spec.anomalous_runs_per_app;
+    for (std::size_t run = 0; run < total_runs; ++run) {
+      const bool anomalous = run >= spec.healthy_runs_per_app;
+      RunConfig config;
+      config.app = app;
+      config.job_id = job_id++;
+      // Node counts are drawn independently of the healthy/anomalous order so
+      // class sample ratios stay stable at any scale.
+      config.num_nodes = spec.system.node_counts[seed_rng.uniform_index(
+          spec.system.node_counts.size())];
+      config.duration_s = spec.duration_s;
+      config.node_ram_kb = spec.system.node_ram_kb;
+      config.dropout = spec.dropout;
+      config.seed = seed_rng();
+      config.first_component_id = component_base;
+      if (anomalous) {
+        config.anomaly = anomalies[anomaly_cursor++ % anomalies.size()];
+        // Same input deck, slower execution: contention stretches the run.
+        config.duration_s *= hpas::expected_slowdown(config.anomaly);
+      }
+      component_base += static_cast<std::int64_t>(config.num_nodes);
+      consume(generate_run(config));
+    }
+  }
+}
+
+}  // namespace prodigy::telemetry

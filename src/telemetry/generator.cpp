@@ -1,0 +1,115 @@
+#include "telemetry/generator.hpp"
+
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prodigy::telemetry {
+
+namespace {
+
+bool node_is_anomalous(const RunConfig& config, std::size_t node) {
+  if (!config.anomaly.is_anomalous()) return false;
+  if (config.anomalous_nodes.empty()) return true;
+  return std::find(config.anomalous_nodes.begin(), config.anomalous_nodes.end(),
+                   node) != config.anomalous_nodes.end();
+}
+
+/// Stretches and stalls I/O to model a degraded Lustre backend.  Metadata
+/// operations and buffered writeback degrade continuously; checkpoint bursts
+/// stall outright.
+void apply_io_degradation(double degradation, ResourceState& state) {
+  if (degradation <= 0.0) return;
+  // Background effect: every filesystem touch is slower.
+  state.cpu_iowait += 0.06 * degradation;
+  state.blocked_procs += 1.5 * degradation;
+  state.io_rate *= 1.0 - 0.25 * degradation;
+  state.page_fault_rate *= 1.0 - 0.15 * degradation;
+  state.ctx_switch_rate *= 1.0 - 0.10 * degradation;
+
+  const bool in_burst = state.cpu_iowait > 0.07 || state.io_rate > 5.0;
+  if (in_burst) {
+    // Checkpoint phases: throughput collapses, compute starves behind I/O.
+    state.cpu_iowait += 0.35 * degradation;
+    state.io_rate *= 1.0 - 0.5 * degradation;
+    state.blocked_procs += 4.0 * degradation;
+    state.cpu_user *= 1.0 - 0.3 * degradation;
+    state.major_fault_rate += 5.0 * degradation;
+  }
+}
+
+}  // namespace
+
+JobTelemetry generate_run(const RunConfig& config) {
+  const auto& catalog = metric_catalog();
+  const auto timestamps = static_cast<std::size_t>(std::max(1.0, config.duration_s));
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+  JobTelemetry job;
+  job.job_id = config.job_id;
+  job.app = config.app.name;
+  job.nodes.reserve(config.num_nodes);
+
+  util::Rng job_rng(config.seed ^ static_cast<std::uint64_t>(config.job_id) * 0x9e37ULL);
+  const RunVariation run_variation = sample_run_variation(job_rng);
+
+  for (std::size_t node = 0; node < config.num_nodes; ++node) {
+    util::Rng rng = job_rng.fork();
+    NodeSeries series;
+    series.job_id = config.job_id;
+    series.component_id = config.first_component_id + static_cast<std::int64_t>(node);
+    series.app = config.app.name;
+    series.values = tensor::Matrix(timestamps, catalog.size());
+
+    const bool anomalous = node_is_anomalous(config, node);
+    const bool organic = config.io_degradation > 0.0;
+    series.label = (anomalous || organic) ? 1 : 0;
+    series.anomaly = anomalous ? to_string(config.anomaly.kind)
+                               : (organic ? "io_degradation" : "none");
+
+    std::unique_ptr<hpas::AnomalyInjector> injector;
+    if (anomalous) injector = hpas::make_injector(config.anomaly, rng);
+
+    // Per-node variation on top of the shared run variation (placement noise).
+    RunVariation node_variation = run_variation;
+    node_variation.cpu_scale *= std::max(0.6, 1.0 + 0.03 * rng.gaussian());
+    node_variation.rate_scale *= std::max(0.6, 1.0 + 0.03 * rng.gaussian());
+    node_variation.phase_offset += rng.uniform(0.0, 3.0);
+
+    // Counters accumulate from a since-boot offset, like real /proc counters.
+    std::vector<double> counters(catalog.size(), 0.0);
+    for (std::size_t m = 0; m < catalog.size(); ++m) {
+      if (catalog[m].kind == MetricKind::Counter) {
+        counters[m] = rng.uniform(1e6, 5e8);
+      }
+    }
+
+    for (std::size_t t = 0; t < timestamps; ++t) {
+      ResourceState state = state_at(config.app, node_variation,
+                                     static_cast<double>(t), config.duration_s, rng);
+      if (injector) {
+        injector->perturb(static_cast<double>(t) / config.duration_s, state, rng);
+      }
+      apply_io_degradation(config.io_degradation, state);
+
+      const auto rates = synthesize_rates(state, config.node_ram_kb, rng);
+      for (std::size_t m = 0; m < catalog.size(); ++m) {
+        double reported;
+        if (catalog[m].kind == MetricKind::Counter) {
+          counters[m] += std::max(0.0, rates[m]);
+          reported = counters[m];
+        } else {
+          reported = rates[m];
+        }
+        series.values(t, m) =
+            rng.bernoulli(config.dropout) ? kNaN : reported;
+      }
+    }
+    job.nodes.push_back(std::move(series));
+  }
+  return job;
+}
+
+}  // namespace prodigy::telemetry

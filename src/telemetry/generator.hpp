@@ -1,0 +1,58 @@
+// Simulated LDMS data collection: runs an application profile on a set of
+// compute nodes and produces per-node multivariate time series exactly as the
+// 1 Hz ldmsd samplers would report them — counters accumulate from a random
+// boot offset, gauges carry sampling noise, and a small fraction of samples
+// is lost in flight (NaN) as happens during real aggregation.
+#pragma once
+
+#include "hpas/anomalies.hpp"
+#include "telemetry/app_profile.hpp"
+#include "tensor/matrix.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prodigy::telemetry {
+
+/// Raw telemetry of one compute node over one application run:
+/// a (T x M) matrix over the metric catalog, plus identity and ground truth.
+struct NodeSeries {
+  std::int64_t job_id = 0;
+  std::int64_t component_id = 0;
+  std::string app;
+  std::string anomaly = "none";  // HPAS anomaly name, or "none"
+  int label = 0;                 // ground truth: 1 = anomalous
+  tensor::Matrix values;         // (timestamps x metric_catalog())
+};
+
+struct JobTelemetry {
+  std::int64_t job_id = 0;
+  std::string app;
+  std::vector<NodeSeries> nodes;
+};
+
+struct RunConfig {
+  AppProfile app;
+  std::int64_t job_id = 1;
+  std::size_t num_nodes = 4;
+  double duration_s = 300.0;
+  double node_ram_kb = 128.0 * 1024.0 * 1024.0;  // Eclipse: 128 GB
+  std::uint64_t seed = 42;
+  /// Probability that any individual reading is lost (NaN).
+  double dropout = 0.003;
+  /// Synthetic anomaly to inject (kind None = healthy run).
+  hpas::AnomalySpec anomaly = hpas::healthy_spec();
+  /// Which nodes receive the anomaly; empty = all nodes when anomalous.
+  std::vector<std::size_t> anomalous_nodes;
+  /// Organic (non-HPAS) I/O backend degradation in [0, 1]; models the
+  /// Empire/Lustre slowdown of §6.2 — checkpoint phases stretch and stall.
+  double io_degradation = 0.0;
+  /// First component id assigned to this job's nodes.
+  std::int64_t first_component_id = 0;
+};
+
+/// Generates the full job telemetry for one run.
+JobTelemetry generate_run(const RunConfig& config);
+
+}  // namespace prodigy::telemetry

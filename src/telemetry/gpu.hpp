@@ -1,0 +1,84 @@
+// Heterogeneous-node extension (paper §7 future work): GPU telemetry with
+// different metrics and granularity than the CPU samplers.
+//
+// Models a DCGM-style sampler on accelerated compute nodes.  A GPU node's
+// series concatenates the standard CPU catalog with the GPU catalog, so the
+// same pipeline (preprocessing with per-column kinds, feature extraction,
+// selection, VAE) trains one joint model per architecture.
+#pragma once
+
+#include "telemetry/app_profile.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <string>
+#include <vector>
+
+namespace prodigy::telemetry::gpu {
+
+/// Latent per-second state of one GPU (aggregated over the node's devices).
+struct GpuState {
+  double util = 0.0;            // SM occupancy fraction [0, 1]
+  double mem_util = 0.0;        // memory-controller utilization [0, 1]
+  double fb_used_frac = 0.1;    // framebuffer occupancy fraction
+  double pcie_tx_mb = 1.0;      // host->device traffic (MB/s)
+  double pcie_rx_mb = 1.0;      // device->host traffic (MB/s)
+  double nvlink_mb = 0.0;       // peer traffic (MB/s)
+  double power_w = 60.0;        // board power draw
+  double temperature_c = 35.0;  // die temperature
+  double sm_clock_mhz = 1400.0; // current SM clock (throttling lowers it)
+  double xid_error_rate = 0.0;  // driver error events per second
+};
+
+/// The GPU metric catalog (reuses MetricSpec; sampler = Dcgm).
+const std::vector<MetricSpec>& gpu_metric_catalog();
+std::size_t gpu_metric_count();
+
+/// Rates/gauges for one second of GPU state; `fb_total_mb` scales the
+/// framebuffer gauges (e.g. 40960 for a 40 GB device).
+std::vector<double> synthesize_gpu_rates(const GpuState& state, double fb_total_mb,
+                                         util::Rng& rng);
+
+/// A GPU application: host-side behaviour plus device knobs.
+struct GpuAppProfile {
+  std::string name;
+  AppProfile host;               // CPU-side profile (launch/communication)
+  double gpu_intensity = 0.85;   // sustained SM occupancy at phase peak
+  double fb_footprint = 0.5;     // framebuffer fraction in use
+  double pcie_intensity = 0.4;   // staging traffic level
+  double kernel_period_s = 12.0; // kernel-burst periodicity
+};
+
+/// GPU builds of representative applications.
+const std::vector<GpuAppProfile>& gpu_applications();
+const GpuAppProfile& gpu_application_by_name(const std::string& name);
+
+/// GPU-side anomalies (no HPAS equivalent exists; these model the failure
+/// modes GPU operators chase: device memory leaks and thermal throttling).
+enum class GpuAnomalyKind { None, GpuMemleak, ThermalThrottle };
+std::string to_string(GpuAnomalyKind kind);
+
+struct GpuRunConfig {
+  GpuAppProfile app;
+  std::int64_t job_id = 1;
+  std::size_t num_nodes = 4;
+  double duration_s = 300.0;
+  double node_ram_kb = 128.0 * 1024.0 * 1024.0;
+  double fb_total_mb = 40960.0;  // 40 GB class device
+  std::uint64_t seed = 42;
+  double dropout = 0.003;
+  GpuAnomalyKind anomaly = GpuAnomalyKind::None;
+  std::vector<std::size_t> anomalous_nodes;  // empty = all when anomalous
+  std::int64_t first_component_id = 0;
+};
+
+/// Column names of a heterogeneous node frame: CPU catalog then GPU catalog.
+std::vector<std::string> heterogeneous_metric_names();
+/// Matching per-column kinds (for preprocessing).
+std::vector<MetricKind> heterogeneous_metric_kinds();
+
+/// Generates a GPU job; each node's values matrix is
+/// (T x (metric_count() + gpu_metric_count())) over the heterogeneous columns.
+JobTelemetry generate_gpu_run(const GpuRunConfig& config);
+
+}  // namespace prodigy::telemetry::gpu

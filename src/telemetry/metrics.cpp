@@ -1,0 +1,212 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace prodigy::telemetry {
+
+std::string to_string(Sampler sampler) {
+  switch (sampler) {
+    case Sampler::Meminfo: return "meminfo";
+    case Sampler::Vmstat: return "vmstat";
+    case Sampler::Procstat: return "procstat";
+    case Sampler::Dcgm: return "dcgm";
+  }
+  return "unknown";
+}
+
+std::string full_metric_name(const MetricSpec& spec) {
+  return spec.name + "::" + to_string(spec.sampler);
+}
+
+namespace {
+
+// Synthesis ids; keep in sync with synthesize_rates().
+enum SynthId {
+  kMemFree, kMemAvailable, kActive, kInactive, kAnonPages, kCached, kBuffers,
+  kDirty, kWriteback, kMapped, kShmem, kSlab, kSReclaimable, kKernelStack,
+  kPageTables, kCommittedAs, kSwapFree,
+  kPgfault, kPgmajfault, kPgpgin, kPgpgout, kPswpin, kPswpout, kPgrotated,
+  kPginodesteal, kPgstealKswapd, kPgscanKswapd, kPgfree, kPgactivate,
+  kPgdeactivate, kNumaHit, kNumaMiss, kNrDirty, kNrWriteback, kNrFreePages,
+  kThpFaultAlloc, kNrAnonPages,
+  kCpuUser, kCpuNice, kCpuSystem, kCpuIdle, kCpuIowait, kCpuIrq, kCpuSoftirq,
+  kIntr, kCtxt, kProcesses, kProcsRunning, kProcsBlocked,
+  kSynthCount,
+};
+
+std::vector<MetricSpec> build_catalog() {
+  using S = Sampler;
+  using K = MetricKind;
+  return {
+      // --- meminfo gauges (kB) ---
+      {"MemFree", S::Meminfo, K::Gauge, kMemFree},
+      {"MemAvailable", S::Meminfo, K::Gauge, kMemAvailable},
+      {"Active", S::Meminfo, K::Gauge, kActive},
+      {"Inactive", S::Meminfo, K::Gauge, kInactive},
+      {"AnonPages", S::Meminfo, K::Gauge, kAnonPages},
+      {"Cached", S::Meminfo, K::Gauge, kCached},
+      {"Buffers", S::Meminfo, K::Gauge, kBuffers},
+      {"Dirty", S::Meminfo, K::Gauge, kDirty},
+      {"Writeback", S::Meminfo, K::Gauge, kWriteback},
+      {"Mapped", S::Meminfo, K::Gauge, kMapped},
+      {"Shmem", S::Meminfo, K::Gauge, kShmem},
+      {"Slab", S::Meminfo, K::Gauge, kSlab},
+      {"SReclaimable", S::Meminfo, K::Gauge, kSReclaimable},
+      {"KernelStack", S::Meminfo, K::Gauge, kKernelStack},
+      {"PageTables", S::Meminfo, K::Gauge, kPageTables},
+      {"Committed_AS", S::Meminfo, K::Gauge, kCommittedAs},
+      {"SwapFree", S::Meminfo, K::Gauge, kSwapFree},
+      // --- vmstat ---
+      {"pgfault", S::Vmstat, K::Counter, kPgfault},
+      {"pgmajfault", S::Vmstat, K::Counter, kPgmajfault},
+      {"pgpgin", S::Vmstat, K::Counter, kPgpgin},
+      {"pgpgout", S::Vmstat, K::Counter, kPgpgout},
+      {"pswpin", S::Vmstat, K::Counter, kPswpin},
+      {"pswpout", S::Vmstat, K::Counter, kPswpout},
+      {"pgrotated", S::Vmstat, K::Counter, kPgrotated},
+      {"pginodesteal", S::Vmstat, K::Counter, kPginodesteal},
+      {"pgsteal_kswapd", S::Vmstat, K::Counter, kPgstealKswapd},
+      {"pgscan_kswapd", S::Vmstat, K::Counter, kPgscanKswapd},
+      {"pgfree", S::Vmstat, K::Counter, kPgfree},
+      {"pgactivate", S::Vmstat, K::Counter, kPgactivate},
+      {"pgdeactivate", S::Vmstat, K::Counter, kPgdeactivate},
+      {"numa_hit", S::Vmstat, K::Counter, kNumaHit},
+      {"numa_miss", S::Vmstat, K::Counter, kNumaMiss},
+      {"nr_dirty", S::Vmstat, K::Gauge, kNrDirty},
+      {"nr_writeback", S::Vmstat, K::Gauge, kNrWriteback},
+      {"nr_free_pages", S::Vmstat, K::Gauge, kNrFreePages},
+      {"nr_anon_pages", S::Vmstat, K::Gauge, kNrAnonPages},
+      {"thp_fault_alloc", S::Vmstat, K::Counter, kThpFaultAlloc},
+      // --- procstat (USER_HZ ticks aggregated across cores; counters) ---
+      {"user", S::Procstat, K::Counter, kCpuUser},
+      {"nice", S::Procstat, K::Counter, kCpuNice},
+      {"sys", S::Procstat, K::Counter, kCpuSystem},
+      {"idle", S::Procstat, K::Counter, kCpuIdle},
+      {"iowait", S::Procstat, K::Counter, kCpuIowait},
+      {"irq", S::Procstat, K::Counter, kCpuIrq},
+      {"softirq", S::Procstat, K::Counter, kCpuSoftirq},
+      {"intr", S::Procstat, K::Counter, kIntr},
+      {"ctxt", S::Procstat, K::Counter, kCtxt},
+      {"processes", S::Procstat, K::Counter, kProcesses},
+      {"procs_running", S::Procstat, K::Gauge, kProcsRunning},
+      {"procs_blocked", S::Procstat, K::Gauge, kProcsBlocked},
+  };
+}
+
+}  // namespace
+
+const std::vector<MetricSpec>& metric_catalog() {
+  static const std::vector<MetricSpec> catalog = build_catalog();
+  return catalog;
+}
+
+std::size_t metric_count() { return metric_catalog().size(); }
+
+std::size_t metric_index(const std::string& full_name) {
+  static const std::unordered_map<std::string, std::size_t> index = [] {
+    std::unordered_map<std::string, std::size_t> map;
+    const auto& catalog = metric_catalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      map.emplace(full_metric_name(catalog[i]), i);
+    }
+    return map;
+  }();
+  const auto it = index.find(full_name);
+  if (it == index.end()) {
+    throw std::out_of_range("metric_index: unknown metric " + full_name);
+  }
+  return it->second;
+}
+
+std::vector<double> synthesize_rates(const ResourceState& s, double node_ram_kb,
+                                     util::Rng& rng) {
+  // CPU fractions normalized so they never exceed one node-second.
+  const double busy = s.cpu_user + s.cpu_system + s.cpu_iowait;
+  const double scale = busy > 0.97 ? 0.97 / busy : 1.0;
+  const double user = s.cpu_user * scale;
+  const double system = s.cpu_system * scale;
+  const double iowait = s.cpu_iowait * scale;
+  const double idle = 1.0 - user - system - iowait;
+
+  const double used = std::clamp(s.mem_used_frac, 0.02, 0.98);
+  const double anon = std::clamp(s.mem_anon_frac, 0.01, used);
+  const double cached = std::clamp(s.mem_cached_frac, 0.005, 0.9);
+  const double free_kb = node_ram_kb * (1.0 - used);
+  const double swap_total_kb = node_ram_kb * 0.25;
+
+  auto jitter = [&rng](double value, double rel) {
+    return std::max(0.0, value * (1.0 + rel * rng.gaussian()));
+  };
+
+  std::vector<double> rates(kSynthCount, 0.0);
+
+  // meminfo gauges (kB).
+  rates[kMemFree] = jitter(free_kb, 0.01);
+  rates[kMemAvailable] = jitter(free_kb + node_ram_kb * cached * 0.8, 0.01);
+  rates[kActive] = jitter(node_ram_kb * (anon * 0.7 + cached * 0.45), 0.02);
+  rates[kInactive] = jitter(node_ram_kb * (anon * 0.2 + cached * 0.5), 0.02);
+  rates[kAnonPages] = jitter(node_ram_kb * anon, 0.01);
+  rates[kCached] = jitter(node_ram_kb * cached, 0.01);
+  rates[kBuffers] = jitter(node_ram_kb * 0.01, 0.03);
+  rates[kDirty] = jitter(node_ram_kb * 0.0004 * (1.0 + 4.0 * s.io_rate / 50.0), 0.2);
+  rates[kWriteback] = jitter(node_ram_kb * 0.00005 * (1.0 + s.io_rate / 20.0), 0.5);
+  rates[kMapped] = jitter(node_ram_kb * anon * 0.25, 0.02);
+  rates[kShmem] = jitter(node_ram_kb * 0.006, 0.02);
+  rates[kSlab] = jitter(node_ram_kb * (0.012 + 0.002 * s.reclaim_rate / 1000.0), 0.02);
+  rates[kSReclaimable] = jitter(node_ram_kb * 0.008, 0.02);
+  rates[kKernelStack] = jitter(node_ram_kb * 0.0002 + 16.0 * s.runnable_procs, 0.02);
+  rates[kPageTables] = jitter(node_ram_kb * anon * 0.002, 0.03);
+  rates[kCommittedAs] = jitter(node_ram_kb * (anon * 1.4 + 0.05), 0.01);
+  rates[kSwapFree] =
+      jitter(std::max(0.0, swap_total_kb - 4.0 * s.swap_rate * swap_total_kb / 1e4), 0.01);
+
+  // vmstat rates (events/s).
+  rates[kPgfault] = jitter(s.page_fault_rate, 0.10);
+  rates[kPgmajfault] = jitter(s.major_fault_rate, 0.30);
+  rates[kPgpgin] = jitter(20.0 + 8.0 * s.io_rate, 0.20);
+  rates[kPgpgout] = jitter(15.0 + 10.0 * s.io_rate, 0.20);
+  rates[kPswpin] = jitter(0.35 * s.swap_rate, 0.30);
+  rates[kPswpout] = jitter(0.65 * s.swap_rate, 0.30);
+  rates[kPgrotated] = jitter(0.5 + 0.12 * s.swap_rate + 0.05 * s.reclaim_rate, 0.40);
+  rates[kPginodesteal] = jitter(0.02 * s.reclaim_rate, 0.50);
+  rates[kPgstealKswapd] = jitter(0.6 * s.reclaim_rate, 0.25);
+  rates[kPgscanKswapd] = jitter(1.4 * s.reclaim_rate, 0.25);
+  rates[kPgfree] = jitter(300.0 + 0.9 * s.page_fault_rate + s.reclaim_rate, 0.10);
+  rates[kPgactivate] = jitter(40.0 + 0.2 * s.page_fault_rate + 160.0 * s.cache_pressure, 0.15);
+  rates[kPgdeactivate] = jitter(5.0 + 0.6 * s.reclaim_rate, 0.30);
+  rates[kNumaHit] = jitter(2000.0 + 2.5 * s.page_fault_rate + 1200.0 * s.membw_pressure, 0.08);
+  rates[kNumaMiss] = jitter(10.0 + 500.0 * s.membw_pressure, 0.25);
+  rates[kNrDirty] = jitter(80.0 + 30.0 * s.io_rate, 0.25);
+  rates[kNrWriteback] = jitter(2.0 + 1.5 * s.io_rate, 0.50);
+  rates[kNrFreePages] = jitter(free_kb / 4.0, 0.01);  // 4 kB pages
+  rates[kNrAnonPages] = jitter(node_ram_kb * anon / 4.0, 0.01);
+  rates[kThpFaultAlloc] = jitter(0.5 + 0.002 * s.page_fault_rate, 0.40);
+
+  // procstat rates (ticks/s across all cores; 100 Hz * ncores=36-equivalent).
+  const double ticks = 100.0 * 36.0;
+  rates[kCpuUser] = jitter(ticks * user, 0.02);
+  rates[kCpuNice] = jitter(ticks * 0.001, 0.30);
+  rates[kCpuSystem] = jitter(ticks * system, 0.03);
+  rates[kCpuIdle] = jitter(ticks * std::max(0.0, idle), 0.02);
+  rates[kCpuIowait] = jitter(ticks * iowait, 0.10);
+  rates[kCpuIrq] = jitter(0.003 * s.interrupt_rate, 0.20);
+  rates[kCpuSoftirq] = jitter(0.006 * s.interrupt_rate + 0.4 * s.net_rate, 0.20);
+  rates[kIntr] = jitter(s.interrupt_rate + 25.0 * s.net_rate, 0.08);
+  rates[kCtxt] = jitter(s.ctx_switch_rate, 0.08);
+  rates[kProcesses] = jitter(1.5 + 0.2 * s.runnable_procs, 0.40);
+  rates[kProcsRunning] = std::max(1.0, jitter(s.runnable_procs, 0.15));
+  rates[kProcsBlocked] = std::max(0.0, jitter(s.blocked_procs, 0.30));
+
+  // Map synth table -> catalog order.
+  const auto& catalog = metric_catalog();
+  std::vector<double> out(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    out[i] = rates[static_cast<std::size_t>(catalog[i].synth_id)];
+  }
+  return out;
+}
+
+}  // namespace prodigy::telemetry

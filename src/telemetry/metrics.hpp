@@ -1,0 +1,54 @@
+// The LDMS metric catalog: which meminfo/vmstat/procstat metrics the
+// simulated ldmsd samplers expose, and how each reading is synthesized from
+// the node's latent ResourceState.
+//
+// The production deployment collects 806 metrics and keeps 156 node-level
+// ones after dropping per-core metrics (paper §5.4.1).  We model the
+// node-level metrics that carry the anomaly signatures plus enough
+// bystanders that feature selection has real work to do.
+#pragma once
+
+#include "telemetry/resource_state.hpp"
+#include "util/rng.hpp"
+
+#include <string>
+#include <vector>
+
+namespace prodigy::telemetry {
+
+enum class Sampler { Meminfo, Vmstat, Procstat, Dcgm };
+
+std::string to_string(Sampler sampler);
+
+/// Gauges report instantaneous values; counters accumulate since boot and
+/// must be differenced by the preprocessing stage (paper §4.2.1).
+enum class MetricKind { Gauge, Counter };
+
+struct MetricSpec {
+  std::string name;   // e.g. "MemFree"
+  Sampler sampler;    // which ldmsd plugin reports it
+  MetricKind kind;
+  /// Index into the synthesis table (internal).
+  int synth_id;
+};
+
+/// Full metric identifier as used throughout the paper, e.g. "MemFree::meminfo".
+std::string full_metric_name(const MetricSpec& spec);
+
+/// The fixed catalog, in canonical column order.
+const std::vector<MetricSpec>& metric_catalog();
+
+/// Catalog size (number of node-level metrics).
+std::size_t metric_count();
+
+/// Index of a metric by full name; throws std::out_of_range if absent.
+std::size_t metric_index(const std::string& full_name);
+
+/// Synthesizes the *instantaneous rate or gauge value* of every metric for
+/// one second from the resource state.  For counters the generator
+/// accumulates these rates into the reported running totals.
+/// `node_ram_kb` scales the meminfo gauges (Eclipse 128 GB, Volta 64 GB).
+std::vector<double> synthesize_rates(const ResourceState& state,
+                                     double node_ram_kb, util::Rng& rng);
+
+}  // namespace prodigy::telemetry

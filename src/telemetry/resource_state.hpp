@@ -1,0 +1,46 @@
+// The latent per-node, per-second resource state of the simulated machine.
+//
+// Application profiles map execution phase -> ResourceState; HPAS anomaly
+// injectors perturb the state; the metric catalog then synthesizes LDMS-style
+// sampler readings (meminfo/vmstat/procstat) from it.  Modeling anomalies at
+// this level makes their metric signatures coherent across samplers (e.g. a
+// memory leak simultaneously shrinks MemFree, grows AnonPages, and eventually
+// drives swap/page-rotation activity), which is what the real HPAS anomalies
+// do to a real kernel.
+#pragma once
+
+namespace prodigy::telemetry {
+
+struct ResourceState {
+  // CPU time fractions for this second; the remainder is idle.
+  double cpu_user = 0.05;
+  double cpu_system = 0.02;
+  double cpu_iowait = 0.0;
+
+  // Memory occupancy as fractions of node RAM.
+  double mem_used_frac = 0.2;   // total in-use
+  double mem_anon_frac = 0.08;  // anonymous (heap) portion
+  double mem_cached_frac = 0.15;
+
+  // Paging / reclaim activity (events per second, arbitrary but consistent units).
+  double page_fault_rate = 200.0;
+  double major_fault_rate = 0.0;
+  double swap_rate = 0.0;        // pswpin+pswpout pressure
+  double reclaim_rate = 0.0;     // kswapd scan/steal pressure
+
+  // Contention proxies.
+  double cache_pressure = 0.1;   // L1..L3 contention in [0, ~2]
+  double membw_pressure = 0.1;   // memory-bandwidth contention in [0, ~2]
+
+  // I/O and network activity (MB/s-ish).
+  double io_rate = 1.0;
+  double net_rate = 0.5;
+
+  // Scheduling activity.
+  double ctx_switch_rate = 1500.0;
+  double interrupt_rate = 900.0;
+  double runnable_procs = 2.0;
+  double blocked_procs = 0.0;
+};
+
+}  // namespace prodigy::telemetry

@@ -1,0 +1,200 @@
+#include "tensor/ops.hpp"
+
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::tensor {
+
+namespace {
+
+constexpr std::size_t kBlock = 64;          // cache-block edge for GEMM
+constexpr std::size_t kParallelFlops = 1u << 20;  // threshold for threading
+
+void check_inner(std::size_t a_cols, std::size_t b_rows, const char* op) {
+  if (a_cols != b_rows) {
+    throw std::invalid_argument(std::string(op) + ": inner dimensions differ (" +
+                                std::to_string(a_cols) + " vs " +
+                                std::to_string(b_rows) + ")");
+  }
+}
+
+// Multiplies the row band [r0, r1) of A into C.  B is indexed (k, j).
+void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
+               std::size_t r1) {
+  const std::size_t n = b.cols();
+  const std::size_t inner = a.cols();
+  for (std::size_t kk = 0; kk < inner; kk += kBlock) {
+    const std::size_t k_hi = std::min(inner, kk + kBlock);
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double* a_row = a.data() + r * inner;
+      double* c_row = c.data() + r * n;
+      for (std::size_t k = kk; k < k_hi; ++k) {
+        const double a_val = a_row[k];
+        if (a_val == 0.0) continue;
+        const double* b_row = b.data() + k * n;
+        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  check_inner(a.cols(), b.rows(), "matmul");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t flops = a.rows() * a.cols() * b.cols();
+  if (flops < kParallelFlops || a.rows() < 2) {
+    gemm_rows(a, b, c, 0, a.rows());
+  } else {
+    util::parallel_for(0, a.rows(),
+                       [&](std::size_t r) { gemm_rows(a, b, c, r, r + 1); }, 8);
+  }
+  return c;
+}
+
+Matrix matmul_transposed_b(const Matrix& a, const Matrix& b) {
+  check_inner(a.cols(), b.cols(), "matmul_transposed_b");
+  Matrix c(a.rows(), b.rows());
+  const std::size_t inner = a.cols();
+  auto body = [&](std::size_t r) {
+    const double* a_row = a.data() + r * inner;
+    double* c_row = c.data() + r * b.rows();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.data() + j * inner;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
+      c_row[j] = acc;
+    }
+  };
+  const std::size_t flops = a.rows() * inner * b.rows();
+  if (flops < kParallelFlops) {
+    for (std::size_t r = 0; r < a.rows(); ++r) body(r);
+  } else {
+    util::parallel_for(0, a.rows(), body, 8);
+  }
+  return c;
+}
+
+Matrix matmul_transposed_a(const Matrix& a, const Matrix& b) {
+  check_inner(a.rows(), b.rows(), "matmul_transposed_a");
+  Matrix c(a.cols(), b.cols());
+  // C[i][j] = sum_k A[k][i] * B[k][j]; accumulate row bands of B.
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.data() + k * a.cols();
+    const double* b_row = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double a_val = a_row[i];
+      if (a_val == 0.0) continue;
+      double* c_row = c.data() + i * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+void add_row_vector(Matrix& m, std::span<const double> bias) {
+  if (bias.size() != m.cols()) {
+    throw std::invalid_argument("add_row_vector: bias length mismatch");
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+Matrix map(const Matrix& a, const std::function<double(double)>& fn) {
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) out.data()[i] = fn(a.data()[i]);
+  return out;
+}
+
+void hadamard_inplace(Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("hadamard_inplace: shape mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] *= b.data()[i];
+}
+
+std::vector<double> column_sums(const Matrix& a) {
+  std::vector<double> sums(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) sums[c] += row[c];
+  }
+  return sums;
+}
+
+std::vector<double> rowwise_mean_abs_error(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("rowwise_mean_abs_error: shape mismatch");
+  }
+  std::vector<double> errors(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const double* ra = a.data() + r * a.cols();
+    const double* rb = b.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += std::abs(ra[c] - rb[c]);
+    errors[r] = a.cols() == 0 ? 0.0 : acc / static_cast<double>(a.cols());
+  }
+  return errors;
+}
+
+std::vector<double> rowwise_mean_squared_error(const Matrix& a, const Matrix& b) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument("rowwise_mean_squared_error: shape mismatch");
+  }
+  std::vector<double> errors(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    const double* ra = a.data() + r * a.cols();
+    const double* rb = b.data() + r * a.cols();
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double d = ra[c] - rb[c];
+      acc += d * d;
+    }
+    errors[r] = a.cols() == 0 ? 0.0 : acc / static_cast<double>(a.cols());
+  }
+  return errors;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("squared_distance: length mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double euclidean_distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+Matrix vstack(const Matrix& top, const Matrix& bottom) {
+  if (top.empty()) return bottom;
+  if (bottom.empty()) return top;
+  if (top.cols() != bottom.cols()) {
+    throw std::invalid_argument("vstack: column mismatch");
+  }
+  Matrix out(top.rows() + bottom.rows(), top.cols());
+  std::copy(top.data(), top.data() + top.size(), out.data());
+  std::copy(bottom.data(), bottom.data() + bottom.size(), out.data() + top.size());
+  return out;
+}
+
+}  // namespace prodigy::tensor

@@ -1,0 +1,51 @@
+// Linear-algebra kernels on Matrix: blocked & threaded GEMM variants and the
+// element-wise helpers the NN layers need.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+#include <functional>
+#include <span>
+
+namespace prodigy::tensor {
+
+/// C = A * B.  Cache-blocked; rows of A are distributed over the thread pool
+/// when the product is large enough to amortize the dispatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing the transpose.
+Matrix matmul_transposed_b(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing the transpose.
+Matrix matmul_transposed_a(const Matrix& a, const Matrix& b);
+
+Matrix transpose(const Matrix& a);
+
+/// Adds `bias` (length = cols) to every row of `m` in place.
+void add_row_vector(Matrix& m, std::span<const double> bias);
+
+/// Element-wise map, out-of-place.
+Matrix map(const Matrix& a, const std::function<double(double)>& fn);
+
+/// Element-wise product (Hadamard), in place on `a`.
+void hadamard_inplace(Matrix& a, const Matrix& b);
+
+/// Column-wise sum, returning a vector of length cols.
+std::vector<double> column_sums(const Matrix& a);
+
+/// Per-row mean absolute difference between two equal-shaped matrices.
+std::vector<double> rowwise_mean_abs_error(const Matrix& a, const Matrix& b);
+
+/// Per-row mean squared difference between two equal-shaped matrices.
+std::vector<double> rowwise_mean_squared_error(const Matrix& a, const Matrix& b);
+
+/// Euclidean distance between two rows (spans of equal length).
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Vertically stacks two matrices with equal column counts.
+Matrix vstack(const Matrix& top, const Matrix& bottom);
+
+}  // namespace prodigy::tensor

@@ -1,0 +1,118 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::tensor {
+
+double sum(std::span<const double> xs) noexcept {
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc;
+}
+
+double mean(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
+
+double min_value(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double pos = clamped * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double skewness(std::span<const double> xs) noexcept {
+  if (xs.size() < 3) return 0.0;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd == 0.0) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    const double z = (x - m) / sd;
+    acc += z * z * z;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+double kurtosis(std::span<const double> xs) noexcept {
+  if (xs.size() < 4) return 0.0;
+  const double m = mean(xs);
+  const double sd = stddev(xs);
+  if (sd == 0.0) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) {
+    const double z = (x - m) / sd;
+    acc += z * z * z * z;
+  }
+  return acc / static_cast<double>(xs.size()) - 3.0;
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson_correlation: length mismatch");
+  }
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
+  if (xs.size() <= lag + 1) return 0.0;
+  const double m = mean(xs);
+  const double var = variance(xs);
+  if (var == 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    acc += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return acc / (static_cast<double>(xs.size() - lag) * var);
+}
+
+}  // namespace prodigy::tensor

@@ -1,0 +1,30 @@
+// Scalar statistics on spans of doubles.  These are the primitives the
+// TSFRESH-style extractors and the thresholding logic are built from.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace prodigy::tensor {
+
+double sum(std::span<const double> xs) noexcept;
+double mean(std::span<const double> xs) noexcept;
+/// Population variance (ddof = 0); returns 0 for n < 1.
+double variance(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+double min_value(std::span<const double> xs) noexcept;
+double max_value(std::span<const double> xs) noexcept;
+double median(std::span<const double> xs);
+/// Linear-interpolated quantile, q in [0, 1].  Copies and sorts.
+double quantile(std::span<const double> xs, double q);
+/// Quantile over an already-sorted sequence (no copy).
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+double skewness(std::span<const double> xs) noexcept;
+/// Excess kurtosis (normal -> 0).
+double kurtosis(std::span<const double> xs) noexcept;
+/// Pearson correlation; returns 0 when either side is constant.
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+/// Autocorrelation at the given lag; 0 when undefined.
+double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept;
+
+}  // namespace prodigy::tensor

@@ -1,0 +1,27 @@
+// Tiny CSV reader/writer used to export experiment tables and to snapshot
+// datasets for inspection.  Handles quoting of fields containing commas,
+// quotes, or newlines; does not attempt full RFC 4180 edge cases beyond that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prodigy::util {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;  // throws if absent
+};
+
+/// Serializes one CSV field, quoting when necessary.
+std::string csv_escape(const std::string& field);
+
+/// Writes header + rows to `path`.  Throws std::runtime_error on I/O failure.
+void write_csv(const std::string& path, const CsvTable& table);
+
+/// Reads a CSV file written by write_csv (or any simple CSV with a header row).
+CsvTable read_csv(const std::string& path);
+
+}  // namespace prodigy::util

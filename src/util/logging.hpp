@@ -1,0 +1,52 @@
+// Minimal leveled logger.  Experiments and the deployment service log
+// progress through this; tests set the level to Warn to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace prodigy::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one line to stderr if `level` is enabled.  Thread-safe.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string format_parts(Args&&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_line(LogLevel::Debug, detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_line(LogLevel::Info, detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_line(LogLevel::Warn, detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_line(LogLevel::Error, detail::format_parts(std::forward<Args>(args)...));
+}
+
+}  // namespace prodigy::util

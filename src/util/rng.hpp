@@ -1,0 +1,132 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every component in the library draws randomness from an explicitly seeded
+// Rng.  We use xoshiro256++ (public-domain algorithm by Blackman & Vigna)
+// seeded through splitmix64, which gives high-quality streams from arbitrary
+// 64-bit seeds and lets us derive independent child streams cheaply.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+namespace prodigy::util {
+
+/// Counter-based seed expansion (splitmix64).  Used to turn one user seed
+/// into well-separated internal state words.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with Gaussian/uniform helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be used with
+/// <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    cached_gauss_valid_ = false;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded integers.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (caches the second variate).
+  double gaussian() noexcept {
+    if (cached_gauss_valid_) {
+      cached_gauss_valid_ = false;
+      return cached_gauss_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = radius * std::sin(angle);
+    cached_gauss_valid_ = true;
+    return radius * std::cos(angle);
+  }
+
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child stream; calls advance this generator.
+  Rng fork() noexcept { return Rng((*this)()); }
+
+  /// Fisher–Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gauss_ = 0.0;
+  bool cached_gauss_valid_ = false;
+};
+
+}  // namespace prodigy::util

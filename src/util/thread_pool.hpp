@@ -1,0 +1,67 @@
+// Fixed-size thread pool with a blocking task queue and a chunked
+// parallel_for built on top.  All heavy loops in the library (feature
+// extraction, GEMM, distance matrices, cross-validation folds) run here so
+// the degree of parallelism is controlled in one place.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace prodigy::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the future reports completion/exceptions.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
+    std::future<void> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide shared pool.  Lazily constructed with the default size.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool in contiguous chunks.
+/// Blocks until all iterations finish; rethrows the first task exception.
+/// Executes inline when the range is small or the pool has one thread.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Convenience overload using the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace prodigy::util

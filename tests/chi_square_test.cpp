@@ -1,0 +1,118 @@
+#include "features/chi_square.hpp"
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace prodigy::features {
+namespace {
+
+TEST(Chi2Test, DiscriminativeFeatureRankedFirst) {
+  // Column 0 separates classes perfectly; columns 1-2 are uniform noise.
+  util::Rng rng(1);
+  tensor::Matrix X(200, 3);
+  std::vector<int> y(200);
+  for (std::size_t r = 0; r < 200; ++r) {
+    y[r] = r < 100 ? 0 : 1;
+    X(r, 0) = y[r] == 1 ? rng.uniform(0.8, 1.0) : rng.uniform(0.0, 0.2);
+    X(r, 1) = rng.uniform();
+    X(r, 2) = rng.uniform();
+  }
+  const auto scores = chi2_scores(X, y);
+  EXPECT_GT(scores[0], scores[1] * 5.0);
+  EXPECT_GT(scores[0], scores[2] * 5.0);
+  const auto top = top_k_indices(scores, 1);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(Chi2Test, RequiresBothClasses) {
+  tensor::Matrix X(4, 2, 1.0);
+  EXPECT_THROW(chi2_scores(X, {0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(chi2_scores(X, {1, 1, 1, 1}), std::invalid_argument);
+}
+
+TEST(Chi2Test, RejectsNegativeFeatures) {
+  tensor::Matrix X{{-1.0, 0.5}, {0.2, 0.3}};
+  EXPECT_THROW(chi2_scores(X, {0, 1}), std::invalid_argument);
+}
+
+TEST(Chi2Test, RejectsSizeMismatch) {
+  tensor::Matrix X(4, 2, 1.0);
+  EXPECT_THROW(chi2_scores(X, {0, 1}), std::invalid_argument);
+}
+
+TEST(Chi2Test, AllZeroFeatureScoresZero) {
+  tensor::Matrix X(4, 2, 0.0);
+  X(0, 1) = 1.0;
+  X(3, 1) = 2.0;
+  const auto scores = chi2_scores(X, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+  EXPECT_GT(scores[1], 0.0);
+}
+
+TEST(Chi2Test, BalancedFeatureScoresNearZero) {
+  // Equal class sums -> observed == expected -> chi2 == 0.
+  tensor::Matrix X{{1.0}, {2.0}, {1.0}, {2.0}};
+  const auto scores = chi2_scores(X, {0, 0, 1, 1});
+  EXPECT_NEAR(scores[0], 0.0, 1e-12);
+}
+
+TEST(TopKTest, OrdersDescendingAndDeterministicTies) {
+  const std::vector<double> scores{1.0, 5.0, 3.0, 5.0};
+  const auto top = top_k_indices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // ties broken by lower index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopKTest, ClampsKToSize) {
+  const std::vector<double> scores{1.0, 2.0};
+  EXPECT_EQ(top_k_indices(scores, 10).size(), 2u);
+}
+
+TEST(SelectFeaturesTest, Chi2PipelineFindsShiftedColumns) {
+  // Columns 0..3 shifted for anomalies, 4..9 identical noise.
+  util::Rng rng(2);
+  FeatureDataset dataset;
+  dataset.X = tensor::Matrix(300, 10);
+  dataset.labels.resize(300);
+  dataset.meta.resize(300);
+  for (std::size_t r = 0; r < 300; ++r) {
+    dataset.labels[r] = r < 250 ? 0 : 1;
+    for (std::size_t c = 0; c < 10; ++c) {
+      double value = rng.uniform(0.2, 0.4);
+      if (c < 4 && dataset.labels[r] == 1) value += 0.5;
+      dataset.X(r, c) = value;
+    }
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    dataset.feature_names.push_back("f" + std::to_string(c));
+  }
+  const SelectionResult result = select_features_chi2(dataset, 4);
+  ASSERT_EQ(result.selected.size(), 4u);
+  for (const auto idx : result.selected) EXPECT_LT(idx, 4u);
+}
+
+TEST(SelectFeaturesTest, VarianceSelectionLabelFree) {
+  FeatureDataset dataset;
+  dataset.X = tensor::Matrix(50, 3);
+  util::Rng rng(3);
+  for (std::size_t r = 0; r < 50; ++r) {
+    dataset.X(r, 0) = 10.0;                        // constant -> score 0
+    dataset.X(r, 1) = r % 2 ? 100.0 : -100.0;      // max scaled variance
+    dataset.X(r, 2) = rng.uniform(0.0, 0.1) + 5.0; // small spread
+  }
+  dataset.labels.assign(50, 0);  // single class: chi2 would throw
+  dataset.meta.resize(50);
+  dataset.feature_names = {"a", "b", "c"};
+  const SelectionResult result = select_features_variance(dataset, 2);
+  EXPECT_EQ(result.selected[0], 1u);
+  EXPECT_DOUBLE_EQ(result.scores[0], 0.0);
+}
+
+}  // namespace
+}  // namespace prodigy::features

@@ -1,0 +1,164 @@
+#include "comte/comte.hpp"
+
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prodigy::comte {
+namespace {
+
+TEST(MetricOfFeatureTest, ParsesThreePartNames) {
+  EXPECT_EQ(metric_of_feature("MemFree::meminfo::mean"), "MemFree::meminfo");
+  EXPECT_EQ(metric_of_feature("pgrotated::vmstat::c3_lag_1"), "pgrotated::vmstat");
+  EXPECT_EQ(metric_of_feature("plain"), "plain");
+  EXPECT_EQ(metric_of_feature("a::b"), "a::b");
+}
+
+/// Fake detector whose score is the first coordinate (model-input space).
+class FirstCoordinateDetector final : public core::Detector {
+ public:
+  std::string name() const override { return "fake"; }
+  void fit(const tensor::Matrix&, const std::vector<int>&) override {}
+  std::vector<double> score(const tensor::Matrix& X) const override {
+    std::vector<double> scores(X.rows());
+    for (std::size_t r = 0; r < X.rows(); ++r) scores[r] = X(r, 0);
+    return scores;
+  }
+  std::vector<int> predict(const tensor::Matrix& X) const override {
+    const auto scores = score(X);
+    std::vector<int> predictions(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      predictions[i] = scores[i] > 0.5 ? 1 : 0;
+    }
+    return predictions;
+  }
+};
+
+TEST(ThresholdAdapterTest, ProbabilityIsMonotoneInScore) {
+  FirstCoordinateDetector detector;
+  ThresholdModelAdapter adapter(detector, 0.5, 0.1);
+  const std::vector<double> low{0.1, 0.0};
+  const std::vector<double> at{0.5, 0.0};
+  const std::vector<double> high{0.9, 0.0};
+  EXPECT_LT(adapter.anomaly_probability(low), 0.5);
+  EXPECT_NEAR(adapter.anomaly_probability(at), 0.5, 1e-9);
+  EXPECT_GT(adapter.anomaly_probability(high), 0.5);
+}
+
+TEST(ThresholdAdapterTest, EstimateScalePositive) {
+  EXPECT_GT(ThresholdModelAdapter::estimate_scale({1.0, 2.0, 3.0, 4.0}), 0.0);
+  EXPECT_GT(ThresholdModelAdapter::estimate_scale({2.0, 2.0, 2.0}), 0.0);
+}
+
+/// Model that flags a sample anomalous iff the mean of metric "m0" columns is
+/// high.  The explainer must identify m0 as the counterfactual metric.
+class MetricZeroModel final : public ProbabilityModel {
+ public:
+  double anomaly_probability(std::span<const double> x) const override {
+    // Columns 0..1 belong to metric m0 (2 features per metric in the helper).
+    const double mean = 0.5 * (x[0] + x[1]);
+    return 1.0 / (1.0 + std::exp(-(mean - 0.5) * 10.0));
+  }
+};
+
+class ComteExplainerTest : public ::testing::Test {
+ protected:
+  ComteExplainerTest() {
+    // 3 metrics x 2 features.  Healthy training data near 0; the anomalous
+    // query has metric m0 elevated.
+    train_ = tensor::Matrix(20, 6, 0.1);
+    labels_.assign(20, 0);
+    labels_[19] = 1;  // one anomalous training row (ignored as distractor)
+    for (std::size_t c = 0; c < 6; ++c) train_(19, c) = 0.9;
+    names_ = {"m0::vmstat::mean", "m0::vmstat::max", "m1::vmstat::mean",
+              "m1::vmstat::max", "m2::vmstat::mean", "m2::vmstat::max"};
+  }
+
+  tensor::Matrix train_;
+  std::vector<int> labels_;
+  std::vector<std::string> names_;
+  MetricZeroModel model_;
+};
+
+TEST_F(ComteExplainerTest, GroupsMetrics) {
+  ComteExplainer explainer(model_, train_, labels_, names_);
+  EXPECT_EQ(explainer.metric_names(),
+            (std::vector<std::string>{"m0::vmstat", "m1::vmstat", "m2::vmstat"}));
+}
+
+TEST_F(ComteExplainerTest, ValidatesInputs) {
+  EXPECT_THROW(ComteExplainer(model_, train_, labels_, {"just_one"}),
+               std::invalid_argument);
+  EXPECT_THROW(ComteExplainer(model_, train_, {0, 1}, names_), std::invalid_argument);
+  EXPECT_THROW(ComteExplainer(model_, train_, std::vector<int>(20, 1), names_),
+               std::invalid_argument);
+}
+
+TEST_F(ComteExplainerTest, BruteForceFindsSingleMetricCounterfactual) {
+  ComteExplainer explainer(model_, train_, labels_, names_);
+  std::vector<double> query{0.9, 0.95, 0.1, 0.1, 0.1, 0.1};  // m0 elevated
+  const Explanation explanation = explainer.explain_brute_force(query);
+  EXPECT_TRUE(explanation.success);
+  ASSERT_EQ(explanation.changes.size(), 1u);
+  EXPECT_EQ(explanation.changes[0].metric, "m0::vmstat");
+  EXPECT_LT(explanation.changes[0].mean_delta, 0.0);  // "healthy if m0 were lower"
+  EXPECT_GT(explanation.original_probability, 0.5);
+  EXPECT_LT(explanation.final_probability, 0.5);
+}
+
+TEST_F(ComteExplainerTest, OptimizedSearchAgreesOnEasyCase) {
+  ComteExplainer explainer(model_, train_, labels_, names_);
+  std::vector<double> query{0.9, 0.95, 0.1, 0.1, 0.1, 0.1};
+  const Explanation explanation = explainer.explain_optimized(query);
+  EXPECT_TRUE(explanation.success);
+  ASSERT_GE(explanation.changes.size(), 1u);
+  EXPECT_EQ(explanation.changes[0].metric, "m0::vmstat");
+}
+
+/// Needs two metrics replaced: probability driven by max of m0, m1 means.
+class TwoMetricModel final : public ProbabilityModel {
+ public:
+  double anomaly_probability(std::span<const double> x) const override {
+    const double m0 = 0.5 * (x[0] + x[1]);
+    const double m1 = 0.5 * (x[2] + x[3]);
+    const double drive = std::max(m0, m1);
+    return 1.0 / (1.0 + std::exp(-(drive - 0.5) * 10.0));
+  }
+};
+
+TEST_F(ComteExplainerTest, FindsTwoMetricCounterfactual) {
+  TwoMetricModel model;
+  ComteExplainer explainer(model, train_, labels_, names_);
+  std::vector<double> query{0.9, 0.9, 0.9, 0.9, 0.1, 0.1};  // m0 AND m1 elevated
+  const Explanation brute = explainer.explain_brute_force(query);
+  EXPECT_TRUE(brute.success);
+  EXPECT_EQ(brute.changes.size(), 2u);
+  const Explanation greedy = explainer.explain_optimized(query);
+  EXPECT_TRUE(greedy.success);
+  EXPECT_EQ(greedy.changes.size(), 2u);
+}
+
+TEST_F(ComteExplainerTest, UnexplainableSampleReportsFailure) {
+  // Probability is 1 regardless of features -> no counterfactual exists.
+  class AlwaysAnomalous final : public ProbabilityModel {
+   public:
+    double anomaly_probability(std::span<const double>) const override { return 1.0; }
+  };
+  AlwaysAnomalous model;
+  ComteExplainer explainer(model, train_, labels_, names_);
+  std::vector<double> query(6, 0.9);
+  const Explanation explanation = explainer.explain_optimized(query);
+  EXPECT_FALSE(explanation.success);
+}
+
+TEST_F(ComteExplainerTest, EvaluationBudgetIsTracked) {
+  ComteExplainer explainer(model_, train_, labels_, names_);
+  std::vector<double> query{0.9, 0.9, 0.1, 0.1, 0.1, 0.1};
+  const Explanation explanation = explainer.explain_brute_force(query);
+  EXPECT_GT(explanation.evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace prodigy::comte

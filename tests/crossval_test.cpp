@@ -1,0 +1,103 @@
+#include "eval/crossval.hpp"
+
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::eval {
+namespace {
+
+/// Oracle detector: scores by distance from the origin; anomalies in the
+/// blob dataset are shifted, so a tuned threshold separates perfectly.
+class OracleDetector final : public core::Detector {
+ public:
+  std::string name() const override { return "oracle"; }
+  void fit(const tensor::Matrix&, const std::vector<int>&) override {}
+  std::vector<double> score(const tensor::Matrix& X) const override {
+    std::vector<double> scores(X.rows(), 0.0);
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      for (std::size_t c = 0; c < X.cols(); ++c) scores[r] += X(r, c);
+    }
+    return scores;
+  }
+  std::vector<int> predict(const tensor::Matrix& X) const override {
+    const auto scores = score(X);
+    std::vector<int> predictions(scores.size());
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      predictions[i] = scores[i] > threshold_ ? 1 : 0;
+    }
+    return predictions;
+  }
+  void tune(const tensor::Matrix& X, const std::vector<int>& labels) override {
+    threshold_ = best_threshold_by_f1(score(X), labels).best_threshold;
+  }
+
+ private:
+  double threshold_ = 0.0;
+};
+
+TEST(EvaluateFoldTest, OracleReachesPerfectF1WithTuning) {
+  auto train = prodigy::testing::blob_feature_dataset(80, 10, 6, 8.0, 1);
+  auto test = prodigy::testing::blob_feature_dataset(40, 40, 6, 8.0, 2);
+  OracleDetector oracle;
+  EvalOptions options;
+  const DetectorEvaluation result = evaluate_fold(
+      oracle, train.X, train.labels, test.X, test.labels, options);
+  EXPECT_NEAR(result.macro_f1, 1.0, 0.02);
+  EXPECT_EQ(result.train_size, 90u);
+  EXPECT_EQ(result.test_size, 80u);
+  EXPECT_GE(result.train_seconds, 0.0);
+}
+
+TEST(EvaluateFoldTest, TuningCanBeDisabled) {
+  auto train = prodigy::testing::blob_feature_dataset(80, 10, 6, 8.0, 3);
+  auto test = prodigy::testing::blob_feature_dataset(40, 40, 6, 8.0, 4);
+  OracleDetector oracle;
+  EvalOptions options;
+  options.tune_on_test = false;
+  const DetectorEvaluation result = evaluate_fold(
+      oracle, train.X, train.labels, test.X, test.labels, options);
+  // Untuned oracle threshold 0 flags everything above zero-sum: poor macro-F1.
+  EXPECT_LT(result.macro_f1, 0.9);
+}
+
+TEST(RepeatedEvalTest, RunsRequestedRounds) {
+  const auto dataset = prodigy::testing::blob_feature_dataset(150, 150, 5, 6.0, 5);
+  const auto result = repeated_prodigy_eval(
+      [] { return std::make_unique<OracleDetector>(); }, dataset, 5, 42, {});
+  ASSERT_EQ(result.rounds.size(), 5u);
+  EXPECT_GT(result.mean_f1(), 0.95);
+  EXPECT_GE(result.stddev_f1(), 0.0);
+  EXPECT_GT(result.mean_accuracy(), 0.95);
+}
+
+TEST(RepeatedEvalTest, TrainSideRespectsAnomalyCap) {
+  const auto dataset = prodigy::testing::blob_feature_dataset(100, 400, 4, 6.0, 6);
+  const auto result = repeated_prodigy_eval(
+      [] { return std::make_unique<OracleDetector>(); }, dataset, 2, 7, {}, 0.2, 0.1);
+  for (const auto& round : result.rounds) {
+    // 20% of 500 = 100 train samples, at most 10% of them anomalous; the
+    // excess anomalous samples all land on the test side.
+    EXPECT_EQ(round.train_size, 100u);
+    EXPECT_EQ(round.test_size, 400u);
+  }
+}
+
+TEST(KfoldEvalTest, FoldsCoverDataset) {
+  const auto dataset = prodigy::testing::blob_feature_dataset(60, 60, 4, 6.0, 8);
+  const auto result = kfold_eval(
+      [] { return std::make_unique<OracleDetector>(); }, dataset, 4, 9, {});
+  ASSERT_EQ(result.rounds.size(), 4u);
+  std::size_t total_test = 0;
+  for (const auto& round : result.rounds) total_test += round.test_size;
+  EXPECT_EQ(total_test, dataset.size());
+}
+
+TEST(RepeatedEvalTest, EmptySummaryIsZero) {
+  RepeatedEvaluation empty;
+  EXPECT_DOUBLE_EQ(empty.mean_f1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev_f1(), 0.0);
+}
+
+}  // namespace
+}  // namespace prodigy::eval

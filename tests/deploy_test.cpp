@@ -1,0 +1,210 @@
+#include "deploy/dsos.hpp"
+#include "deploy/service.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace prodigy::deploy {
+namespace {
+
+telemetry::JobTelemetry make_job(std::int64_t job_id, const std::string& app,
+                                 std::size_t nodes, double duration,
+                                 hpas::AnomalySpec anomaly = hpas::healthy_spec(),
+                                 std::vector<std::size_t> anomalous_nodes = {},
+                                 std::uint64_t seed = 0) {
+  telemetry::RunConfig config;
+  config.app = telemetry::application_by_name(app);
+  config.job_id = job_id;
+  config.num_nodes = nodes;
+  config.duration_s = duration;
+  config.seed = seed == 0 ? static_cast<std::uint64_t>(job_id) : seed;
+  config.anomaly = anomaly;
+  config.anomalous_nodes = std::move(anomalous_nodes);
+  config.first_component_id = job_id * 100;
+  return telemetry::generate_run(config);
+}
+
+TEST(DsosStoreTest, IngestAndQuery) {
+  DsosStore store;
+  store.ingest(make_job(1, "LAMMPS", 2, 32));
+  store.ingest(make_job(2, "sw4", 3, 32));
+
+  EXPECT_EQ(store.job_count(), 2u);
+  EXPECT_TRUE(store.has_job(1));
+  EXPECT_FALSE(store.has_job(99));
+  EXPECT_EQ(store.job_ids(), (std::vector<std::int64_t>{1, 2}));
+
+  const auto job = store.query_job(2);
+  EXPECT_EQ(job.app, "sw4");
+  EXPECT_EQ(job.nodes.size(), 3u);
+  EXPECT_EQ(store.components_of(2),
+            (std::vector<std::int64_t>{200, 201, 202}));
+  EXPECT_THROW(store.query_job(99), std::out_of_range);
+}
+
+TEST(DsosStoreTest, QueryNodeAndDatapoints) {
+  DsosStore store;
+  store.ingest(make_job(5, "HACC", 2, 16));
+  const auto node = store.query_node(5, 501);
+  EXPECT_EQ(node.component_id, 501);
+  EXPECT_EQ(node.values.rows(), 16u);
+  EXPECT_THROW(store.query_node(5, 999), std::out_of_range);
+  EXPECT_EQ(store.datapoint_count(), 2 * 16 * telemetry::metric_count());
+}
+
+TEST(DsosStoreTest, StreamingNodeIngestBuildsJobs) {
+  DsosStore store;
+  const auto job = make_job(9, "SWFFT", 3, 16);
+  for (const auto& node : job.nodes) store.ingest_node(node);
+  EXPECT_TRUE(store.has_job(9));
+  EXPECT_EQ(store.components_of(9).size(), 3u);
+  EXPECT_EQ(store.query_job(9).app, "SWFFT");
+}
+
+TEST(DsosStoreTest, ReingestReplacesJob) {
+  DsosStore store;
+  store.ingest(make_job(1, "LAMMPS", 2, 16));
+  store.ingest(make_job(1, "LAMMPS", 2, 16, hpas::healthy_spec(), {}, 777));
+  EXPECT_EQ(store.job_count(), 1u);
+}
+
+TEST(DsosStoreTest, SaveLoadRoundTrip) {
+  DsosStore store;
+  store.ingest(make_job(7, "ExaMiniMD", 2, 24));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_dsos_test.bin").string();
+  store.save(path);
+  const DsosStore loaded = DsosStore::load(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.job_count(), 1u);
+  const auto a = store.query_node(7, 700);
+  const auto b = loaded.query_node(7, 700);
+  EXPECT_EQ(a.app, b.app);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    const double x = a.values.data()[i];
+    const double y = b.values.data()[i];
+    if (std::isnan(x)) {
+      EXPECT_TRUE(std::isnan(y));
+    } else {
+      EXPECT_DOUBLE_EQ(x, y);
+    }
+  }
+}
+
+class AnalyticsServiceTest : public ::testing::Test {
+ protected:
+  AnalyticsServiceTest() {
+    // Training store: healthy runs plus a few memleak runs so chi-square
+    // selection has both classes (paper: 24 anomalous samples suffice).
+    std::int64_t job = 1;
+    for (int i = 0; i < 6; ++i) {
+      store_.ingest(make_job(job, "LAMMPS", 4, 150));
+      train_jobs_.push_back(job++);
+    }
+    const auto memleak = hpas::table2_configurations().back();
+    for (int i = 0; i < 2; ++i) {
+      store_.ingest(make_job(job, "LAMMPS", 4, 150, memleak));
+      train_jobs_.push_back(job++);
+    }
+    // Query job 50: memleak on nodes 1 and 3 only (the Fig. 7 scenario).
+    store_.ingest(make_job(50, "LAMMPS", 4, 150, memleak, {1, 3}));
+  }
+
+  TrainFromStoreOptions fast_options() {
+    TrainFromStoreOptions options;
+    options.preprocess.trim_seconds = 20;
+    options.top_k_features = 64;
+    options.model.vae.encoder_hidden = {24, 8};
+    options.model.vae.latent_dim = 3;
+    options.model.train.epochs = 120;
+    options.model.train.batch_size = 16;
+    options.model.train.learning_rate = 2e-3;
+    options.model.train.validation_split = 0.0;
+    options.model.train.early_stopping_patience = 0;
+    return options;
+  }
+
+  DsosStore store_;
+  std::vector<std::int64_t> train_jobs_;
+};
+
+TEST_F(AnalyticsServiceTest, EndToEndTrainingAndJobAnalysis) {
+  const AnalyticsService service =
+      AnalyticsService::train_from_store(store_, train_jobs_, fast_options());
+
+  const JobAnalysis analysis = service.analyze_job(50);
+  EXPECT_EQ(analysis.job_id, 50);
+  EXPECT_EQ(analysis.app, "LAMMPS");
+  ASSERT_EQ(analysis.nodes.size(), 4u);
+  EXPECT_GT(analysis.seconds, 0.0);
+
+  // Nodes 1 and 3 carry the memleak; they must score higher than 0 and 2,
+  // and the binary verdicts should match the injected ground truth.
+  const auto& nodes = analysis.nodes;
+  EXPECT_GT(std::min(nodes[1].score, nodes[3].score),
+            std::max(nodes[0].score, nodes[2].score));
+  EXPECT_TRUE(nodes[1].anomalous);
+  EXPECT_TRUE(nodes[3].anomalous);
+  EXPECT_FALSE(nodes[0].anomalous);
+  EXPECT_FALSE(nodes[2].anomalous);
+
+  // Anomalous nodes carry CoMTE explanations; healthy nodes do not.
+  EXPECT_TRUE(nodes[1].explanation.has_value());
+  EXPECT_FALSE(nodes[0].explanation.has_value());
+  if (nodes[1].explanation->success) {
+    EXPECT_GE(nodes[1].explanation->changes.size(), 1u);
+  }
+}
+
+TEST_F(AnalyticsServiceTest, NodeLevelAnalysisMatchesJobLevel) {
+  const AnalyticsService service = AnalyticsService::train_from_store(
+      store_, train_jobs_, fast_options(), /*explain=*/false);
+  const JobAnalysis analysis = service.analyze_job(50);
+  const NodeVerdict node = service.analyze_node(50, analysis.nodes[1].component_id);
+  EXPECT_EQ(node.component_id, analysis.nodes[1].component_id);
+  EXPECT_EQ(node.anomalous, analysis.nodes[1].anomalous);
+  EXPECT_DOUBLE_EQ(node.score, analysis.nodes[1].score);
+  EXPECT_THROW(service.analyze_node(50, 424242), std::out_of_range);
+}
+
+TEST_F(AnalyticsServiceTest, MarkdownReportContainsVerdictsAndExplanations) {
+  const AnalyticsService service =
+      AnalyticsService::train_from_store(store_, train_jobs_, fast_options());
+  const JobAnalysis analysis = service.analyze_job(50);
+  const std::string report = render_markdown_report(analysis);
+  EXPECT_NE(report.find("## Anomaly detection: job 50"), std::string::npos);
+  EXPECT_NE(report.find("| component | verdict |"), std::string::npos);
+  EXPECT_NE(report.find("**ANOMALOUS**"), std::string::npos);
+  EXPECT_NE(report.find("healthy"), std::string::npos);
+  // At least one explanation section for an anomalous node.
+  EXPECT_NE(report.find("### Why component"), std::string::npos);
+  EXPECT_NE(report.find("would be classified healthy if"), std::string::npos);
+}
+
+TEST_F(AnalyticsServiceTest, ExplanationsCanBeDisabled) {
+  const AnalyticsService service =
+      AnalyticsService::train_from_store(store_, train_jobs_, fast_options(),
+                                         /*explain=*/false);
+  const JobAnalysis analysis = service.analyze_job(50);
+  for (const auto& node : analysis.nodes) {
+    EXPECT_FALSE(node.explanation.has_value());
+  }
+}
+
+TEST_F(AnalyticsServiceTest, UnknownJobThrows) {
+  const AnalyticsService service = AnalyticsService::train_from_store(
+      store_, train_jobs_, fast_options(), false);
+  EXPECT_THROW(service.analyze_job(12345), std::out_of_range);
+}
+
+TEST_F(AnalyticsServiceTest, TrainFromStoreRequiresJobs) {
+  EXPECT_THROW(AnalyticsService::train_from_store(store_, {}, fast_options()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodigy::deploy

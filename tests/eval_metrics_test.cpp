@@ -1,0 +1,113 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::eval {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAllFourCells) {
+  const std::vector<int> truth{1, 1, 0, 0, 1, 0};
+  const std::vector<int> pred{1, 0, 0, 1, 1, 0};
+  const ConfusionMatrix cm = confusion_matrix(truth, pred);
+  EXPECT_EQ(cm.true_positive, 2u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.true_negative, 2u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.total(), 6u);
+}
+
+TEST(ConfusionMatrixTest, SizeMismatchThrows) {
+  EXPECT_THROW(confusion_matrix({1, 0}, {1}), std::invalid_argument);
+}
+
+TEST(MetricsTest, PerfectPredictions) {
+  const std::vector<int> truth{1, 0, 1, 0};
+  const ConfusionMatrix cm = confusion_matrix(truth, truth);
+  EXPECT_DOUBLE_EQ(accuracy(cm), 1.0);
+  EXPECT_DOUBLE_EQ(precision(cm), 1.0);
+  EXPECT_DOUBLE_EQ(recall(cm), 1.0);
+  EXPECT_DOUBLE_EQ(f1_score(cm), 1.0);
+  EXPECT_DOUBLE_EQ(macro_f1(cm), 1.0);
+}
+
+TEST(MetricsTest, HandComputedValues) {
+  // tp=8, fp=2, fn=4, tn=6.
+  const ConfusionMatrix cm{8, 6, 2, 4};
+  EXPECT_DOUBLE_EQ(precision(cm), 0.8);
+  EXPECT_DOUBLE_EQ(recall(cm), 8.0 / 12.0);
+  const double f1_pos = 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(f1_score(cm), f1_pos);
+  // Negative class: tp'=6, fp'=4, fn'=2.
+  const double precision_neg = 0.6, recall_neg = 0.75;
+  const double f1_neg =
+      2 * precision_neg * recall_neg / (precision_neg + recall_neg);
+  EXPECT_DOUBLE_EQ(macro_f1(cm), 0.5 * (f1_pos + f1_neg));
+  EXPECT_DOUBLE_EQ(accuracy(cm), 0.7);
+}
+
+TEST(MetricsTest, DegenerateDenominatorsAreZero) {
+  const ConfusionMatrix no_positives{0, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(precision(no_positives), 0.0);
+  EXPECT_DOUBLE_EQ(recall(no_positives), 0.0);
+  EXPECT_DOUBLE_EQ(f1_score(no_positives), 0.0);
+  const ConfusionMatrix empty{};
+  EXPECT_DOUBLE_EQ(accuracy(empty), 0.0);
+}
+
+TEST(MetricsTest, MajorityPredictionOnImbalancedDataHasLowMacroF1) {
+  // 90% anomalous; predicting all-anomalous gives high accuracy but the
+  // macro-F1 the paper reports (~0.47) stays low.
+  std::vector<int> truth(100, 1);
+  for (int i = 0; i < 10; ++i) truth[i] = 0;
+  const std::vector<int> all_ones(100, 1);
+  const auto cm = confusion_matrix(truth, all_ones);
+  EXPECT_DOUBLE_EQ(accuracy(cm), 0.9);
+  EXPECT_NEAR(macro_f1(truth, all_ones), 0.4737, 0.001);
+}
+
+TEST(MetricsTest, MacroF1SymmetricUnderLabelSwap) {
+  const std::vector<int> truth{1, 1, 0, 0, 1, 0, 1, 0};
+  const std::vector<int> pred{1, 0, 0, 1, 1, 1, 0, 0};
+  std::vector<int> truth_swapped, pred_swapped;
+  for (const int t : truth) truth_swapped.push_back(1 - t);
+  for (const int p : pred) pred_swapped.push_back(1 - p);
+  EXPECT_DOUBLE_EQ(macro_f1(truth, pred), macro_f1(truth_swapped, pred_swapped));
+}
+
+TEST(ThresholdTest, PredictionsAtThreshold) {
+  const std::vector<double> scores{0.1, 0.5, 0.9};
+  EXPECT_EQ(predictions_at_threshold(scores, 0.5), (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(predictions_at_threshold(scores, 0.05), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThresholdTest, SearchFindsSeparatingThreshold) {
+  // Healthy scores < 0.4, anomalous > 0.6 -> any threshold between works.
+  std::vector<double> scores;
+  std::vector<int> truth;
+  for (int i = 0; i < 50; ++i) {
+    scores.push_back(0.1 + 0.005 * i);
+    truth.push_back(0);
+    scores.push_back(0.65 + 0.005 * i);
+    truth.push_back(1);
+  }
+  const ThresholdSearch best = best_threshold_by_f1(scores, truth);
+  EXPECT_DOUBLE_EQ(best.best_macro_f1, 1.0);
+  EXPECT_GT(best.best_threshold, 0.34);
+  EXPECT_LT(best.best_threshold, 0.65);
+}
+
+TEST(ThresholdTest, SearchHandlesOverlap) {
+  const std::vector<double> scores{0.1, 0.2, 0.3, 0.4, 0.25, 0.35};
+  const std::vector<int> truth{0, 0, 1, 1, 1, 0};
+  const ThresholdSearch best = best_threshold_by_f1(scores, truth);
+  EXPECT_GT(best.best_macro_f1, 0.5);
+  EXPECT_LT(best.best_macro_f1, 1.0);
+}
+
+TEST(ThresholdTest, RejectsBadInput) {
+  EXPECT_THROW(best_threshold_by_f1({}, {}), std::invalid_argument);
+  EXPECT_THROW(best_threshold_by_f1({0.1}, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodigy::eval

@@ -1,0 +1,195 @@
+// Property-based tests for the feature extractors: exact invariance /
+// equivariance laws checked over randomized series families.  These pin the
+// mathematical identities the detection pipeline quietly relies on (e.g.
+// scale-free features stay comparable across metrics of different units).
+#include "features/extractors.hpp"
+#include "features/registry.hpp"
+#include "tensor/stats.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace prodigy::features {
+namespace {
+
+/// Series families exercised by every property.
+enum class Family { GaussianNoise, Sine, Ramp, RandomWalk, Bursty };
+
+std::vector<double> make_series(Family family, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  double walk = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (family) {
+      case Family::GaussianNoise:
+        xs[i] = rng.gaussian(5.0, 2.0);
+        break;
+      case Family::Sine:
+        xs[i] = 3.0 + std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 24.0) +
+                0.05 * rng.gaussian();
+        break;
+      case Family::Ramp:
+        xs[i] = 0.1 * static_cast<double>(i) + 0.2 * rng.gaussian();
+        break;
+      case Family::RandomWalk:
+        walk += rng.gaussian();
+        xs[i] = walk;
+        break;
+      case Family::Bursty:
+        xs[i] = rng.bernoulli(0.05) ? rng.uniform(20.0, 50.0) : rng.uniform(0.0, 1.0);
+        break;
+    }
+  }
+  return xs;
+}
+
+class ExtractorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {
+ protected:
+  std::vector<double> series() const {
+    return make_series(std::get<0>(GetParam()), 192, std::get<1>(GetParam()));
+  }
+  static std::vector<double> shifted(std::vector<double> xs, double delta) {
+    for (auto& x : xs) x += delta;
+    return xs;
+  }
+  static std::vector<double> scaled(std::vector<double> xs, double factor) {
+    for (auto& x : xs) x *= factor;
+    return xs;
+  }
+  static std::vector<double> reversed(std::vector<double> xs) {
+    std::reverse(xs.begin(), xs.end());
+    return xs;
+  }
+};
+
+TEST_P(ExtractorPropertyTest, ShiftInvariantFeatures) {
+  const auto xs = series();
+  const auto ys = shifted(xs, 37.5);
+  // These depend only on deviations from the mean.
+  EXPECT_NEAR(tensor::stddev(xs), tensor::stddev(ys), 1e-9);
+  EXPECT_NEAR(tensor::skewness(xs), tensor::skewness(ys), 1e-8);
+  EXPECT_NEAR(tensor::kurtosis(xs), tensor::kurtosis(ys), 1e-7);
+  EXPECT_NEAR(tensor::autocorrelation(xs, 3), tensor::autocorrelation(ys, 3), 1e-8);
+  EXPECT_NEAR(mean_abs_change(xs), mean_abs_change(ys), 1e-9);
+  EXPECT_NEAR(value_range(xs), value_range(ys), 1e-9);
+  EXPECT_NEAR(count_above_mean(xs), count_above_mean(ys), 1e-12);
+  EXPECT_NEAR(mean_crossing_rate(xs), mean_crossing_rate(ys), 1e-12);
+  EXPECT_NEAR(cid_ce(xs, true), cid_ce(ys, true), 1e-8);
+  EXPECT_NEAR(binned_entropy(xs, 10), binned_entropy(ys, 10), 1e-9);
+  EXPECT_NEAR(ratio_beyond_r_sigma(xs, 1.0), ratio_beyond_r_sigma(ys, 1.0), 1e-12);
+}
+
+TEST_P(ExtractorPropertyTest, ScaleInvariantFeatures) {
+  const auto xs = series();
+  const auto ys = scaled(xs, 4.5);
+  EXPECT_NEAR(tensor::skewness(xs), tensor::skewness(ys), 1e-8);
+  EXPECT_NEAR(tensor::kurtosis(xs), tensor::kurtosis(ys), 1e-7);
+  EXPECT_NEAR(tensor::autocorrelation(xs, 5), tensor::autocorrelation(ys, 5), 1e-8);
+  EXPECT_NEAR(variation_coefficient(xs), variation_coefficient(ys), 1e-9);
+  EXPECT_NEAR(count_above_mean(xs), count_above_mean(ys), 1e-12);
+  EXPECT_NEAR(longest_strike_above_mean(xs), longest_strike_above_mean(ys), 1e-12);
+  EXPECT_NEAR(cid_ce(xs, true), cid_ce(ys, true), 1e-8);
+  EXPECT_NEAR(first_location_of_maximum(xs), first_location_of_maximum(ys), 1e-12);
+  EXPECT_NEAR(linear_trend(xs).r_squared, linear_trend(ys).r_squared, 1e-9);
+}
+
+TEST_P(ExtractorPropertyTest, HomogeneousFeaturesScaleExactly) {
+  const auto xs = series();
+  const double factor = 2.5;
+  const auto ys = scaled(xs, factor);
+  // Degree-1 features.
+  EXPECT_NEAR(tensor::mean(ys), factor * tensor::mean(xs), 1e-8);
+  EXPECT_NEAR(tensor::stddev(ys), factor * tensor::stddev(xs), 1e-8);
+  EXPECT_NEAR(mean_abs_change(ys), factor * mean_abs_change(xs), 1e-8);
+  EXPECT_NEAR(value_range(ys), factor * value_range(xs), 1e-8);
+  EXPECT_NEAR(root_mean_square(ys), factor * root_mean_square(xs), 1e-8);
+  // Degree-2.
+  EXPECT_NEAR(abs_energy(ys), factor * factor * abs_energy(xs),
+              1e-6 * std::abs(abs_energy(xs)));
+  // Degree-3.
+  EXPECT_NEAR(c3(ys, 1), factor * factor * factor * c3(xs, 1),
+              1e-6 * std::max(1.0, std::abs(c3(xs, 1))));
+}
+
+TEST_P(ExtractorPropertyTest, ReversalSymmetries) {
+  const auto xs = series();
+  const auto ys = reversed(xs);
+  // Distributional features ignore time order entirely.
+  EXPECT_NEAR(tensor::mean(xs), tensor::mean(ys), 1e-9);
+  EXPECT_NEAR(tensor::quantile(xs, 0.9), tensor::quantile(ys, 0.9), 1e-9);
+  EXPECT_NEAR(binned_entropy(xs, 10), binned_entropy(ys, 10), 1e-9);
+  EXPECT_NEAR(benford_correlation(xs), benford_correlation(ys), 1e-9);
+  // Autocorrelation-family features are reversal-invariant too.
+  EXPECT_NEAR(tensor::autocorrelation(xs, 2), tensor::autocorrelation(ys, 2), 1e-8);
+  EXPECT_NEAR(abs_energy(xs), abs_energy(ys), 1e-8);
+  // The time-reversal asymmetry statistic flips sign by construction.
+  EXPECT_NEAR(time_reversal_asymmetry(xs, 1), -time_reversal_asymmetry(ys, 1),
+              1e-6 * std::max(1.0, std::abs(time_reversal_asymmetry(xs, 1))));
+  // Extremum locations mirror: first-of-max becomes (n-1-last-of-max)/n.
+  const double n = static_cast<double>(xs.size());
+  EXPECT_NEAR(first_location_of_maximum(xs),
+              (n - 1.0) / n - last_location_of_maximum(ys), 1e-9);
+}
+
+TEST_P(ExtractorPropertyTest, BoundedFeaturesStayInRange) {
+  const auto xs = series();
+  for (const double value :
+       {count_above_mean(xs), count_below_mean(xs), longest_strike_above_mean(xs),
+        longest_strike_below_mean(xs), mean_crossing_rate(xs),
+        first_location_of_maximum(xs), last_location_of_minimum(xs),
+        ratio_beyond_r_sigma(xs, 2.0)}) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+  EXPECT_GE(binned_entropy(xs, 10), 0.0);
+  EXPECT_LE(binned_entropy(xs, 10), std::log(10.0) + 1e-12);
+  EXPECT_GE(linear_trend(xs).r_squared, 0.0);
+  EXPECT_LE(linear_trend(xs).r_squared, 1.0 + 1e-12);
+  const double benford = benford_correlation(xs);
+  EXPECT_GE(benford, -1.0 - 1e-12);
+  EXPECT_LE(benford, 1.0 + 1e-12);
+}
+
+TEST_P(ExtractorPropertyTest, WholeRegistryIsFiniteAndDeterministic) {
+  const auto xs = series();
+  const auto a = compute_all_features(xs);
+  const auto b = compute_all_features(xs);
+  ASSERT_EQ(a.size(), features_per_metric());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(a[i])) << feature_registry()[i].name;
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << feature_registry()[i].name;
+  }
+}
+
+TEST_P(ExtractorPropertyTest, CountAboveAndBelowMeanPartition) {
+  const auto xs = series();
+  std::size_t at_mean = 0;
+  const double mean = tensor::mean(xs);
+  for (const double x : xs) at_mean += x == mean ? 1 : 0;
+  EXPECT_NEAR(count_above_mean(xs) + count_below_mean(xs) +
+                  static_cast<double>(at_mean) / static_cast<double>(xs.size()),
+              1.0, 1e-12);
+}
+
+std::string family_param_name(
+    const ::testing::TestParamInfo<std::tuple<Family, std::uint64_t>>& info) {
+  static constexpr const char* kNames[] = {"GaussianNoise", "Sine", "Ramp",
+                                           "RandomWalk", "Bursty"};
+  return std::string(kNames[static_cast<int>(std::get<0>(info.param))]) +
+         "_seed" + std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ExtractorPropertyTest,
+    ::testing::Combine(::testing::Values(Family::GaussianNoise, Family::Sine,
+                                         Family::Ramp, Family::RandomWalk,
+                                         Family::Bursty),
+                       ::testing::Values(1u, 2u, 3u)),
+    family_param_name);
+
+}  // namespace
+}  // namespace prodigy::features

@@ -1,0 +1,276 @@
+#include "features/extractors.hpp"
+#include "features/feature_matrix.hpp"
+#include "features/registry.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <vector>
+
+namespace prodigy::features {
+namespace {
+
+const std::vector<double> kRamp{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+
+TEST(ExtractorTest, AbsEnergyAndRms) {
+  const std::vector<double> xs{1, -2, 2};
+  EXPECT_DOUBLE_EQ(abs_energy(xs), 9.0);
+  EXPECT_DOUBLE_EQ(root_mean_square(xs), std::sqrt(3.0));
+}
+
+TEST(ExtractorTest, ChangeStatisticsOnRamp) {
+  EXPECT_DOUBLE_EQ(mean_abs_change(kRamp), 1.0);
+  EXPECT_DOUBLE_EQ(mean_change(kRamp), 1.0);
+  EXPECT_DOUBLE_EQ(absolute_sum_of_changes(kRamp), 9.0);
+  EXPECT_DOUBLE_EQ(mean_second_derivative_central(kRamp), 0.0);
+}
+
+TEST(ExtractorTest, ChangeStatisticsDegenerate) {
+  const std::vector<double> single{5.0};
+  EXPECT_DOUBLE_EQ(mean_abs_change(single), 0.0);
+  EXPECT_DOUBLE_EQ(mean_change(single), 0.0);
+}
+
+TEST(ExtractorTest, VariationCoefficient) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};  // mean 5, sd 2
+  EXPECT_DOUBLE_EQ(variation_coefficient(xs), 0.4);
+  const std::vector<double> zero_mean{-1, 1};
+  EXPECT_DOUBLE_EQ(variation_coefficient(zero_mean), 0.0);
+}
+
+TEST(ExtractorTest, RangeAndIqr) {
+  EXPECT_DOUBLE_EQ(value_range(kRamp), 9.0);
+  EXPECT_DOUBLE_EQ(interquartile_range(kRamp), 4.5);
+}
+
+TEST(ExtractorTest, ExtremaLocationsRelative) {
+  const std::vector<double> xs{0, 5, 1, 5, -2};
+  EXPECT_DOUBLE_EQ(first_location_of_maximum(xs), 0.2);
+  EXPECT_DOUBLE_EQ(last_location_of_maximum(xs), 0.6);
+  EXPECT_DOUBLE_EQ(first_location_of_minimum(xs), 0.8);
+  EXPECT_DOUBLE_EQ(last_location_of_minimum(xs), 0.8);
+}
+
+TEST(ExtractorTest, CountsAboveBelowMean) {
+  const std::vector<double> xs{0, 0, 0, 0, 10};  // mean 2
+  EXPECT_DOUBLE_EQ(count_above_mean(xs), 0.2);
+  EXPECT_DOUBLE_EQ(count_below_mean(xs), 0.8);
+}
+
+TEST(ExtractorTest, LongestStrikes) {
+  const std::vector<double> xs{1, 1, 10, 10, 10, 1, 10};  // mean ~6.1
+  EXPECT_DOUBLE_EQ(longest_strike_above_mean(xs), 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(longest_strike_below_mean(xs), 2.0 / 7.0);
+}
+
+TEST(ExtractorTest, MeanCrossingRateOfAlternatingSeries) {
+  const std::vector<double> xs{-1, 1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(mean_crossing_rate(xs), 1.0);
+  const std::vector<double> flat{1, 1, 1};
+  EXPECT_DOUBLE_EQ(mean_crossing_rate(flat), 0.0);
+}
+
+TEST(ExtractorTest, NumberPeaksFindsLocalMaxima) {
+  const std::vector<double> xs{0, 3, 0, 5, 0, 2, 0};
+  EXPECT_DOUBLE_EQ(number_peaks(xs, 1), 3.0 / 7.0);
+  // With support 2 only the big middle peak survives.
+  EXPECT_DOUBLE_EQ(number_peaks(xs, 2), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(number_peaks(xs, 0), 0.0);
+}
+
+TEST(ExtractorTest, RatioBeyondSigma) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 100.0;  // one extreme outlier
+  EXPECT_NEAR(ratio_beyond_r_sigma(xs, 3.0), 0.01, 1e-12);
+  const std::vector<double> constant(10, 1.0);
+  EXPECT_DOUBLE_EQ(ratio_beyond_r_sigma(constant, 1.0), 0.0);
+}
+
+TEST(ExtractorTest, C3OfConstantSeries) {
+  const std::vector<double> twos(10, 2.0);
+  EXPECT_DOUBLE_EQ(c3(twos, 1), 8.0);  // 2*2*2
+  EXPECT_DOUBLE_EQ(c3(twos, 0), 0.0);  // invalid lag
+  const std::vector<double> tiny{1, 2};
+  EXPECT_DOUBLE_EQ(c3(tiny, 1), 0.0);  // too short
+}
+
+TEST(ExtractorTest, TimeReversalAsymmetryOfSymmetricSeries) {
+  // A symmetric (time-reversible) series has ~0 asymmetry.
+  std::vector<double> xs(101);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 25.0);
+  }
+  EXPECT_NEAR(time_reversal_asymmetry(xs, 1), 0.0, 0.05);
+  // A sawtooth (sudden drops, slow rises) is strongly asymmetric.
+  std::vector<double> saw(100);
+  for (std::size_t i = 0; i < saw.size(); ++i) saw[i] = static_cast<double>(i % 10);
+  EXPECT_GT(std::abs(time_reversal_asymmetry(saw, 1)), 1.0);
+}
+
+TEST(ExtractorTest, CidCeMeasuresComplexity) {
+  std::vector<double> smooth(100), rough(100);
+  util::Rng rng(3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    smooth[i] = static_cast<double>(i) * 0.01;
+    rough[i] = rng.gaussian();
+  }
+  EXPECT_GT(cid_ce(rough, true), cid_ce(smooth, true));
+  EXPECT_DOUBLE_EQ(cid_ce(std::vector<double>(5, 1.0), true), 0.0);
+}
+
+TEST(ExtractorTest, ApproximateEntropyRegularVsRandom) {
+  std::vector<double> regular(200), random(200);
+  util::Rng rng(4);
+  for (std::size_t i = 0; i < 200; ++i) {
+    regular[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 10.0);
+    random[i] = rng.gaussian();
+  }
+  const double apen_regular = approximate_entropy(regular, 2, 0.2);
+  const double apen_random = approximate_entropy(random, 2, 0.2);
+  EXPECT_LT(apen_regular, apen_random);
+  EXPECT_DOUBLE_EQ(approximate_entropy(std::vector<double>(3, 1.0), 2, 0.2), 0.0);
+}
+
+TEST(ExtractorTest, ApproximateEntropyHandlesLongSeries) {
+  std::vector<double> xs(5000);
+  util::Rng rng(5);
+  for (auto& x : xs) x = rng.gaussian();
+  const double apen = approximate_entropy(xs, 2, 0.2);  // subsampled internally
+  EXPECT_GT(apen, 0.0);
+  EXPECT_TRUE(std::isfinite(apen));
+}
+
+TEST(ExtractorTest, BinnedEntropyUniformVsConcentrated) {
+  std::vector<double> uniform(1000), concentrated(1000, 0.0);
+  util::Rng rng(6);
+  for (auto& x : uniform) x = rng.uniform();
+  concentrated[0] = 1.0;  // all mass in one bin except a single point
+  EXPECT_GT(binned_entropy(uniform, 10), binned_entropy(concentrated, 10));
+  EXPECT_DOUBLE_EQ(binned_entropy(std::vector<double>(5, 2.0), 10), 0.0);
+}
+
+TEST(ExtractorTest, BenfordCorrelationOfBenfordData) {
+  // Exponential growth follows Benford's law closely.
+  std::vector<double> exponential;
+  double value = 1.0;
+  for (int i = 0; i < 500; ++i) {
+    exponential.push_back(value);
+    value *= 1.07;
+  }
+  EXPECT_GT(benford_correlation(exponential), 0.95);
+  // Constant-leading-digit data anti-correlates.
+  std::vector<double> nines(100, 9.5);
+  EXPECT_LT(benford_correlation(nines), 0.0);
+  EXPECT_DOUBLE_EQ(benford_correlation(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(ExtractorTest, LinearTrendOnExactLine) {
+  std::vector<double> xs(20);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = 3.0 * static_cast<double>(i) + 7.0;
+  const LinearTrendResult trend = linear_trend(xs);
+  EXPECT_NEAR(trend.slope, 3.0, 1e-9);
+  EXPECT_NEAR(trend.intercept, 7.0, 1e-9);
+  EXPECT_NEAR(trend.r_squared, 1.0, 1e-9);
+}
+
+TEST(ExtractorTest, LinearTrendOnNoiseHasLowR2) {
+  util::Rng rng(7);
+  std::vector<double> xs(500);
+  for (auto& x : xs) x = rng.gaussian();
+  EXPECT_LT(linear_trend(xs).r_squared, 0.05);
+}
+
+TEST(RegistryTest, HasUniqueNamesAndReasonableSize) {
+  const auto& registry = feature_registry();
+  EXPECT_GE(registry.size(), 60u);
+  std::set<std::string> names;
+  for (const auto& def : registry) {
+    EXPECT_TRUE(names.insert(def.name).second) << "duplicate " << def.name;
+  }
+}
+
+TEST(RegistryTest, PaperNamedFeaturesPresent) {
+  // §3.1/§4.2.1 name these features explicitly.
+  std::set<std::string> names;
+  for (const auto& def : feature_registry()) names.insert(def.name);
+  EXPECT_TRUE(names.contains("approximate_entropy_m2_r02"));
+  EXPECT_TRUE(names.contains("variation_coefficient"));
+  EXPECT_TRUE(names.contains("benford_correlation"));
+  EXPECT_TRUE(names.contains("c3_lag_1"));
+  EXPECT_TRUE(names.contains("spectral_total_power"));  // power spectral density
+  EXPECT_TRUE(names.contains("mean"));
+  EXPECT_TRUE(names.contains("maximum"));
+}
+
+TEST(RegistryTest, ComputeAllFeaturesIsFiniteOnPathologicalInput) {
+  const std::vector<double> empty;
+  const std::vector<double> constant(50, 1e12);
+  for (const auto& series : {empty, constant}) {
+    const auto values = compute_all_features(series);
+    ASSERT_EQ(values.size(), features_per_metric());
+    for (const double v : values) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FeatureMatrixTest, ColumnNamesCrossProduct) {
+  const std::vector<std::string> metrics{"A::meminfo", "B::vmstat"};
+  const auto names = feature_column_names(metrics);
+  ASSERT_EQ(names.size(), 2 * features_per_metric());
+  EXPECT_EQ(names.front(), "A::meminfo::" + feature_registry().front().name);
+  EXPECT_EQ(names[features_per_metric()],
+            "B::vmstat::" + feature_registry().front().name);
+}
+
+TEST(FeatureMatrixTest, ExtractNodeFeaturesShapeAndOrder) {
+  tensor::Matrix values(50, 3);
+  for (std::size_t t = 0; t < 50; ++t) {
+    values(t, 0) = static_cast<double>(t);       // ramp
+    values(t, 1) = 5.0;                          // constant
+    values(t, 2) = (t % 2 == 0) ? 1.0 : -1.0;    // alternating
+  }
+  const auto features = extract_node_features(values);
+  ASSERT_EQ(features.size(), 3 * features_per_metric());
+  // Locate the "mean" feature in the registry.
+  std::size_t mean_idx = 0;
+  for (; mean_idx < feature_registry().size(); ++mean_idx) {
+    if (feature_registry()[mean_idx].name == "mean") break;
+  }
+  EXPECT_DOUBLE_EQ(features[1 * features_per_metric() + mean_idx], 5.0);
+  EXPECT_NEAR(features[2 * features_per_metric() + mean_idx], 0.0, 1e-12);
+}
+
+TEST(FeatureDatasetTest, SelectionAndConcat) {
+  features::FeatureDataset a;
+  a.X = tensor::Matrix{{1, 2}, {3, 4}};
+  a.labels = {0, 1};
+  a.meta.resize(2);
+  a.feature_names = {"f0", "f1"};
+
+  const auto rows = a.select_rows({1});
+  EXPECT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.labels[0], 1);
+  EXPECT_DOUBLE_EQ(rows.X(0, 0), 3.0);
+
+  const auto cols = a.select_columns({1});
+  EXPECT_EQ(cols.feature_names, std::vector<std::string>{"f1"});
+  EXPECT_DOUBLE_EQ(cols.X(1, 0), 4.0);
+
+  const auto both = concat(a, a);
+  EXPECT_EQ(both.size(), 4u);
+  EXPECT_EQ(both.anomalous_count(), 2u);
+  EXPECT_DOUBLE_EQ(both.anomaly_ratio(), 0.5);
+
+  features::FeatureDataset other;
+  other.X = tensor::Matrix{{1.0}};
+  other.labels = {0};
+  other.meta.resize(1);
+  other.feature_names = {"different"};
+  EXPECT_THROW(concat(a, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodigy::features

@@ -1,0 +1,107 @@
+#include "features/fft.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace prodigy::features {
+namespace {
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_THROW(fft_radix2(data), std::invalid_argument);
+}
+
+TEST(FftTest, DcSignal) {
+  std::vector<std::complex<double>> data(8, {1.0, 0.0});
+  fft_radix2(data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+}
+
+TEST(FftTest, SingleToneLandsInCorrectBin) {
+  constexpr std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::cos(2.0 * std::numbers::pi * 5.0 * static_cast<double>(i) / n), 0.0};
+  }
+  fft_radix2(data);
+  // Energy concentrated in bins 5 and n-5.
+  EXPECT_NEAR(std::abs(data[5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - 5]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[3]), 0.0, 1e-9);
+}
+
+TEST(FftTest, ParsevalHolds) {
+  util::Rng rng(1);
+  constexpr std::size_t n = 128;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& d : data) {
+    d = {rng.gaussian(), 0.0};
+    time_energy += std::norm(d);
+  }
+  fft_radix2(data);
+  double freq_energy = 0.0;
+  for (const auto& d : data) freq_energy += std::norm(d);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-6 * time_energy);
+}
+
+TEST(PowerSpectrumTest, PadsArbitraryLengths) {
+  const std::vector<double> xs(100, 1.0);
+  const auto power = power_spectrum(xs);
+  EXPECT_EQ(power.size(), 128 / 2 + 1);  // padded to 128
+}
+
+TEST(PowerSpectrumTest, MeanRemovedSoDcIsZero) {
+  const std::vector<double> xs(64, 5.0);
+  const auto power = power_spectrum(xs);
+  for (const double p : power) EXPECT_NEAR(p, 0.0, 1e-12);
+}
+
+TEST(SpectralSummaryTest, PeakFrequencyOfSine) {
+  constexpr std::size_t n = 256;
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * 32.0 * static_cast<double>(i) / n);
+  }
+  const SpectralSummary summary = spectral_summary(xs);
+  // Bin 32 of 128 one-sided bins -> normalized frequency 0.25.
+  EXPECT_NEAR(summary.peak_frequency, 0.25, 0.02);
+  EXPECT_NEAR(summary.centroid, 0.25, 0.05);
+  EXPECT_GT(summary.total_power, 0.0);
+}
+
+TEST(SpectralSummaryTest, EntropyOrdersToneVsNoise) {
+  util::Rng rng(2);
+  std::vector<double> tone(256), noise(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    tone[i] = std::sin(2.0 * std::numbers::pi * 10.0 * static_cast<double>(i) / 256.0);
+    noise[i] = rng.gaussian();
+  }
+  EXPECT_LT(spectral_summary(tone).entropy, spectral_summary(noise).entropy);
+}
+
+TEST(SpectralSummaryTest, BandPowersSumToOne) {
+  util::Rng rng(3);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = rng.gaussian();
+  const SpectralSummary summary = spectral_summary(xs);
+  const double total = summary.band_power[0] + summary.band_power[1] +
+                       summary.band_power[2] + summary.band_power[3];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SpectralSummaryTest, DegenerateInputsAreZero) {
+  const SpectralSummary empty = spectral_summary(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(empty.total_power, 0.0);
+  const SpectralSummary constant = spectral_summary(std::vector<double>(32, 7.0));
+  EXPECT_DOUBLE_EQ(constant.total_power, 0.0);
+  EXPECT_DOUBLE_EQ(constant.centroid, 0.0);
+}
+
+}  // namespace
+}  // namespace prodigy::features

@@ -1,0 +1,143 @@
+#include "baselines/gmm.hpp"
+
+#include "eval/metrics.hpp"
+#include "test_helpers.hpp"
+#include "tensor/stats.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodigy::baselines {
+namespace {
+
+TEST(GmmTest, UsageErrors) {
+  GmmDetector gmm;
+  EXPECT_EQ(gmm.name(), "Gaussian Mixture");
+  EXPECT_THROW(gmm.score(tensor::Matrix(1, 2, 0.0)), std::logic_error);
+  EXPECT_THROW(gmm.fit(tensor::Matrix(1, 2, 0.0), {0}), std::invalid_argument);
+}
+
+TEST(GmmTest, RecoversTwoWellSeparatedModes) {
+  util::Rng rng(1);
+  tensor::Matrix X(300, 2);
+  for (std::size_t r = 0; r < 300; ++r) {
+    const double center = r < 150 ? 0.0 : 12.0;
+    X(r, 0) = rng.gaussian(center, 0.5);
+    X(r, 1) = rng.gaussian(-center, 0.5);
+  }
+  GmmConfig config;
+  config.components = 2;
+  GmmDetector gmm(config);
+  gmm.fit(X, std::vector<int>(300, 0));
+  ASSERT_EQ(gmm.components(), 2u);
+  // Balanced modes -> roughly equal weights.
+  EXPECT_NEAR(gmm.weights()[0], 0.5, 0.1);
+  EXPECT_NEAR(gmm.weights()[1], 0.5, 0.1);
+}
+
+TEST(GmmTest, LogLikelihoodImprovesOverEm) {
+  auto [X, y] = testing::blob_dataset(200, 0, 4, 0.0, 2);
+  GmmConfig one_iter;
+  one_iter.max_iterations = 1;
+  GmmDetector early(one_iter);
+  early.fit(X, y);
+  GmmConfig many;
+  many.max_iterations = 60;
+  GmmDetector late(many);
+  late.fit(X, y);
+  EXPECT_GE(late.train_log_likelihood(), early.train_log_likelihood() - 1e-9);
+}
+
+TEST(GmmTest, ConvergesBeforeMaxIterations) {
+  auto [X, y] = testing::blob_dataset(300, 0, 3, 0.0, 3);
+  GmmConfig config;
+  config.max_iterations = 200;
+  GmmDetector gmm(config);
+  gmm.fit(X, y);
+  EXPECT_LT(gmm.iterations_run(), 200u);
+}
+
+TEST(GmmTest, OutlierScoresAboveInlier) {
+  auto [X, y] = testing::blob_dataset(400, 0, 4, 0.0, 4);
+  GmmDetector gmm;
+  gmm.fit(X, y);
+  tensor::Matrix probes(2, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    probes(0, c) = 0.0;
+    probes(1, c) = 10.0;
+  }
+  const auto scores = gmm.score(probes);
+  EXPECT_GT(scores[1], scores[0] + 10.0);  // NLL gap is large
+}
+
+TEST(GmmTest, DetectsNoveltiesAfterCleanTraining) {
+  auto [X_train, y_train] = testing::blob_dataset(360, 0, 5, 0.0, 5);
+  GmmConfig config;
+  // Clean training data: a tight threshold (2% of healthy flagged) keeps
+  // false positives low while the novelty NLL gap stays huge.
+  config.contamination = 0.02;
+  GmmDetector gmm(config);
+  gmm.fit(X_train, y_train);
+
+  auto [X_test, y_test] = testing::blob_dataset(90, 10, 5, 5.0, 15);
+  const double f1 = eval::macro_f1(y_test, gmm.predict(X_test));
+  EXPECT_GT(f1, 0.8);
+}
+
+TEST(GmmTest, ContaminatedClusterIsAbsorbedIntoAComponent) {
+  // The known blind spot shared with LOF/K-means: a dense anomalous cluster
+  // in unsupervised training claims its own mixture component and becomes
+  // "likely" — one reason the paper trains Prodigy on healthy samples only.
+  auto [X, y] = testing::blob_dataset(360, 40, 5, 5.0, 5);
+  GmmConfig config;
+  config.components = 4;
+  GmmDetector gmm(config);
+  gmm.fit(X, y);
+  const auto scores = gmm.score(X);
+  // Anomalous samples are NOT strongly separated from healthy ones.
+  std::vector<double> healthy, anomalous;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    (y[i] ? anomalous : healthy).push_back(scores[i]);
+  }
+  const double healthy_mean = tensor::mean(healthy);
+  const double anomalous_mean = tensor::mean(anomalous);
+  EXPECT_LT(anomalous_mean, healthy_mean * 2.0);
+}
+
+TEST(GmmTest, DeterministicForFixedSeed) {
+  auto [X, y] = testing::blob_dataset(150, 0, 3, 0.0, 6);
+  GmmConfig config;
+  config.seed = 5;
+  GmmDetector a(config), b(config);
+  a.fit(X, y);
+  b.fit(X, y);
+  EXPECT_EQ(a.score(X), b.score(X));
+}
+
+TEST(GmmTest, VarianceFloorKeepsScoresFinite) {
+  // Degenerate feature (constant) would make variance 0 without the floor.
+  tensor::Matrix X(100, 2);
+  util::Rng rng(7);
+  for (std::size_t r = 0; r < 100; ++r) {
+    X(r, 0) = rng.gaussian();
+    X(r, 1) = 5.0;  // constant
+  }
+  GmmDetector gmm;
+  gmm.fit(X, std::vector<int>(100, 0));
+  for (const double s : gmm.score(X)) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(GmmTest, ComponentsClampToSampleCount) {
+  tensor::Matrix X{{0.0}, {1.0}, {2.0}};
+  GmmConfig config;
+  config.components = 10;
+  GmmDetector gmm(config);
+  gmm.fit(X, {0, 0, 0});
+  EXPECT_LE(gmm.components(), 3u);
+}
+
+}  // namespace
+}  // namespace prodigy::baselines

@@ -1,0 +1,85 @@
+#include "baselines/heuristics.hpp"
+
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::baselines {
+namespace {
+
+TEST(RandomPredictionTest, RoughlyBalancedOutput) {
+  RandomPrediction random(1);
+  const tensor::Matrix X(10000, 1);
+  const auto predictions = random.predict(X);
+  std::size_t positives = 0;
+  for (const int p : predictions) positives += p;
+  EXPECT_NEAR(static_cast<double>(positives), 5000.0, 200.0);
+}
+
+TEST(RandomPredictionTest, DeterministicPerSeed) {
+  const tensor::Matrix X(100, 1);
+  RandomPrediction a(7), b(7), c(8);
+  EXPECT_EQ(a.predict(X), b.predict(X));
+  EXPECT_NE(a.predict(X), c.predict(X));
+}
+
+TEST(RandomPredictionTest, ScoresInUnitInterval) {
+  RandomPrediction random(2);
+  for (const double s : random.score(tensor::Matrix(100, 1))) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(RandomPredictionTest, MacroF1NearHalfOnBalancedData) {
+  // The paper's Volta floor: random prediction lands around 0.39-0.5.
+  std::vector<int> truth(2000);
+  for (std::size_t i = 0; i < truth.size(); ++i) truth[i] = i % 2;
+  RandomPrediction random(3);
+  const auto predictions = random.predict(tensor::Matrix(truth.size(), 1));
+  EXPECT_NEAR(eval::macro_f1(truth, predictions), 0.5, 0.05);
+}
+
+TEST(MajorityTest, FitUsesTrainingMajority) {
+  MajorityLabelPrediction majority;
+  majority.fit(tensor::Matrix(4, 1), {1, 1, 1, 0});
+  EXPECT_EQ(majority.majority(), 1);
+  majority.fit(tensor::Matrix(4, 1), {0, 0, 1, 0});
+  EXPECT_EQ(majority.majority(), 0);
+}
+
+TEST(MajorityTest, TuneOverridesWithTestMajority) {
+  // The paper's definition: the majority label of the *test* dataset.
+  MajorityLabelPrediction majority;
+  majority.fit(tensor::Matrix(4, 1), {0, 0, 0, 0});
+  majority.tune(tensor::Matrix(3, 1), {1, 1, 0});
+  EXPECT_EQ(majority.majority(), 1);
+  const auto predictions = majority.predict(tensor::Matrix(5, 1));
+  for (const int p : predictions) EXPECT_EQ(p, 1);
+}
+
+TEST(MajorityTest, TieGoesToHealthy) {
+  MajorityLabelPrediction majority;
+  majority.fit(tensor::Matrix(4, 1), {1, 1, 0, 0});
+  EXPECT_EQ(majority.majority(), 0);
+}
+
+TEST(MajorityTest, EmptyTuneKeepsCurrent) {
+  MajorityLabelPrediction majority;
+  majority.fit(tensor::Matrix(2, 1), {1, 1});
+  majority.tune(tensor::Matrix(0, 0), {});
+  EXPECT_EQ(majority.majority(), 1);
+}
+
+TEST(MajorityTest, MacroF1OnEclipseStyleTestMatchesPaperBallpark) {
+  // 90% anomalous test set: predicting all-anomalous -> macro-F1 ~0.47.
+  std::vector<int> truth(1000, 1);
+  for (int i = 0; i < 100; ++i) truth[static_cast<std::size_t>(i)] = 0;
+  MajorityLabelPrediction majority;
+  majority.tune(tensor::Matrix(truth.size(), 1), truth);
+  const auto predictions = majority.predict(tensor::Matrix(truth.size(), 1));
+  EXPECT_NEAR(eval::macro_f1(truth, predictions), 0.47, 0.02);
+}
+
+}  // namespace
+}  // namespace prodigy::baselines

@@ -1,0 +1,167 @@
+#include "hpas/anomalies.hpp"
+
+#include "telemetry/app_profile.hpp"
+#include "telemetry/generator.hpp"
+#include "telemetry/metrics.hpp"
+#include "tensor/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::hpas {
+namespace {
+
+using telemetry::ResourceState;
+
+TEST(AnomalySpecTest, Table2HasTenConfigurations) {
+  const auto configs = table2_configurations();
+  EXPECT_EQ(configs.size(), 10u);  // 2 cpuoccupy + 2 cachecopy + 3 membw + 3 memleak
+  std::size_t memleak = 0, membw = 0, cpu = 0, cache = 0;
+  for (const auto& config : configs) {
+    EXPECT_TRUE(config.is_anomalous());
+    switch (config.kind) {
+      case AnomalyKind::Memleak: ++memleak; break;
+      case AnomalyKind::Membw: ++membw; break;
+      case AnomalyKind::Cpuoccupy: ++cpu; break;
+      case AnomalyKind::Cachecopy: ++cache; break;
+      default: FAIL() << "unexpected kind in Table 2";
+    }
+  }
+  EXPECT_EQ(memleak, 3u);
+  EXPECT_EQ(membw, 3u);
+  EXPECT_EQ(cpu, 2u);
+  EXPECT_EQ(cache, 2u);
+}
+
+TEST(AnomalySpecTest, HealthySpecIsNotAnomalous) {
+  EXPECT_FALSE(healthy_spec().is_anomalous());
+  util::Rng rng(1);
+  EXPECT_EQ(make_injector(healthy_spec(), rng), nullptr);
+}
+
+TEST(AnomalySpecTest, KindStringRoundTrip) {
+  for (const auto kind : {AnomalyKind::None, AnomalyKind::Memleak, AnomalyKind::Membw,
+                          AnomalyKind::Cpuoccupy, AnomalyKind::Cachecopy,
+                          AnomalyKind::Iobw, AnomalyKind::Netoccupy}) {
+    EXPECT_EQ(anomaly_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(anomaly_kind_from_string("quantum"), std::invalid_argument);
+}
+
+// Each injector must leave its documented signature on the resource state.
+class InjectorSignatureTest : public ::testing::Test {
+ protected:
+  ResourceState perturb(AnomalyKind kind, double intensity, double t_frac) {
+    util::Rng rng(5);
+    AnomalySpec spec{kind, intensity, "test"};
+    auto injector = make_injector(spec, rng);
+    ResourceState state;  // defaults = light baseline load
+    injector->perturb(t_frac, state, rng);
+    return state;
+  }
+};
+
+TEST_F(InjectorSignatureTest, MemleakGrowsAnonymousMemoryOverTime) {
+  const ResourceState early = perturb(AnomalyKind::Memleak, 1.0, 0.1);
+  const ResourceState late = perturb(AnomalyKind::Memleak, 1.0, 0.9);
+  EXPECT_GT(late.mem_anon_frac, early.mem_anon_frac);
+  EXPECT_GT(late.mem_used_frac, 0.6);  // big leak late in the run
+}
+
+TEST_F(InjectorSignatureTest, MemleakTriggersReclaimUnderPressure) {
+  const ResourceState late = perturb(AnomalyKind::Memleak, 1.0, 0.95);
+  EXPECT_GT(late.reclaim_rate, 0.0);
+  EXPECT_GT(late.swap_rate, 0.0);
+}
+
+TEST_F(InjectorSignatureTest, MembwRaisesBandwidthPressureAndSlowsVictim) {
+  ResourceState base;
+  const ResourceState hit = perturb(AnomalyKind::Membw, 1.0, 0.5);
+  EXPECT_GT(hit.membw_pressure, base.membw_pressure + 0.5);
+  EXPECT_LT(hit.page_fault_rate, base.page_fault_rate);  // victim slowed
+}
+
+TEST_F(InjectorSignatureTest, CpuoccupyAddsUserCpu) {
+  ResourceState base;
+  const ResourceState hit = perturb(AnomalyKind::Cpuoccupy, 1.0, 0.5);
+  EXPECT_GT(hit.cpu_user, base.cpu_user + 0.5);
+  EXPECT_GT(hit.runnable_procs, base.runnable_procs);
+}
+
+TEST_F(InjectorSignatureTest, CpuoccupyScalesWithUtilization) {
+  const ResourceState full = perturb(AnomalyKind::Cpuoccupy, 1.0, 0.5);
+  const ResourceState partial = perturb(AnomalyKind::Cpuoccupy, 0.5, 0.5);
+  EXPECT_GT(full.cpu_user, partial.cpu_user);
+}
+
+TEST_F(InjectorSignatureTest, CachecopyRaisesCachePressureAndCtx) {
+  ResourceState base;
+  const ResourceState hit = perturb(AnomalyKind::Cachecopy, 1.0, 0.30);
+  EXPECT_GT(hit.cache_pressure, base.cache_pressure);
+  EXPECT_GT(hit.ctx_switch_rate, base.ctx_switch_rate);
+}
+
+TEST_F(InjectorSignatureTest, IobwRaisesIowaitAndBlockedProcs) {
+  ResourceState base;
+  const ResourceState hit = perturb(AnomalyKind::Iobw, 1.0, 0.5);
+  EXPECT_GT(hit.cpu_iowait, base.cpu_iowait + 0.1);
+  EXPECT_GT(hit.blocked_procs, base.blocked_procs);
+  EXPECT_GT(hit.io_rate, base.io_rate);
+}
+
+TEST_F(InjectorSignatureTest, NetoccupyRaisesInterruptsAndNetRate) {
+  ResourceState base;
+  const ResourceState hit = perturb(AnomalyKind::Netoccupy, 1.0, 0.5);
+  EXPECT_GT(hit.net_rate, base.net_rate);
+  EXPECT_GT(hit.interrupt_rate, base.interrupt_rate);
+}
+
+// End-to-end signature: a generated memleak run shows the decreasing
+// MemFree trend Figure 7 of the paper highlights.
+TEST(EndToEndSignatureTest, MemleakRunShowsDecreasingMemFree) {
+  telemetry::RunConfig config;
+  config.app = telemetry::application_by_name("LAMMPS");
+  config.duration_s = 240;
+  config.num_nodes = 1;
+  config.dropout = 0.0;
+  config.anomaly = {AnomalyKind::Memleak, 1.0, "-s 10M -p 1"};
+  const auto anomalous = telemetry::generate_run(config);
+
+  config.anomaly = healthy_spec();
+  config.seed = config.seed + 1;
+  const auto healthy = telemetry::generate_run(config);
+
+  const auto idx = telemetry::metric_index("MemFree::meminfo");
+  auto trend = [&](const telemetry::JobTelemetry& job) {
+    const auto series = job.nodes[0].values.column(idx);
+    // Compare mean of the last quarter against the first quarter.
+    const std::size_t q = series.size() / 4;
+    const double head = tensor::mean(std::span(series).subspan(q / 2, q));
+    const double tail = tensor::mean(std::span(series).subspan(series.size() - q, q));
+    return tail / head;
+  };
+  EXPECT_LT(trend(anomalous), 0.7);  // clear decreasing trend
+  EXPECT_GT(trend(healthy), 0.7);    // roughly flat
+}
+
+TEST(EndToEndSignatureTest, CpuoccupyRunRaisesUserTicks) {
+  telemetry::RunConfig config;
+  config.app = telemetry::application_by_name("miniMD");
+  config.duration_s = 120;
+  config.num_nodes = 1;
+  config.dropout = 0.0;
+  const auto healthy = telemetry::generate_run(config);
+  config.anomaly = {AnomalyKind::Cpuoccupy, 1.0, "-u 100%"};
+  config.seed = config.seed + 1;
+  const auto anomalous = telemetry::generate_run(config);
+
+  const auto idx = telemetry::metric_index("user::procstat");
+  // Counters: compare total accumulated increments.
+  auto growth = [&](const telemetry::JobTelemetry& job) {
+    const auto series = job.nodes[0].values.column(idx);
+    return series.back() - series.front();
+  };
+  EXPECT_GT(growth(anomalous), growth(healthy) * 1.2);
+}
+
+}  // namespace
+}  // namespace prodigy::hpas

@@ -1,0 +1,130 @@
+#include "baselines/isolation_forest.hpp"
+
+#include "eval/metrics.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace prodigy::baselines {
+namespace {
+
+TEST(AveragePathLengthTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(average_path_length(0), 0.0);
+  EXPECT_DOUBLE_EQ(average_path_length(1), 0.0);
+  EXPECT_DOUBLE_EQ(average_path_length(2), 1.0);
+  // c(n) grows logarithmically.
+  EXPECT_GT(average_path_length(256), average_path_length(100));
+  EXPECT_NEAR(average_path_length(256), 2.0 * (std::log(255.0) + 0.5772156649) -
+                                            2.0 * 255.0 / 256.0,
+              1e-9);
+}
+
+TEST(IsolationForestTest, UsageErrors) {
+  IsolationForest forest;
+  EXPECT_THROW(forest.score(tensor::Matrix(1, 2, 0.0)), std::logic_error);
+  EXPECT_THROW(forest.fit(tensor::Matrix{}, {}), std::invalid_argument);
+  EXPECT_EQ(forest.name(), "Isolation Forest");
+}
+
+TEST(IsolationForestTest, ObviousOutlierGetsHighScore) {
+  auto [X, y] = testing::blob_dataset(256, 0, 4, 0.0, 1);
+  IsolationForest forest;
+  forest.fit(X, y);
+
+  tensor::Matrix probe(2, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    probe(0, c) = 0.0;    // dead center of the blob
+    probe(1, c) = 12.0;   // far outside
+  }
+  const auto scores = forest.score(probe);
+  EXPECT_LT(scores[0], 0.55);
+  EXPECT_GT(scores[1], 0.65);
+  EXPECT_GT(scores[1], scores[0] + 0.1);
+}
+
+TEST(IsolationForestTest, ScoresAreInUnitInterval) {
+  auto [X, y] = testing::blob_dataset(200, 20, 5, 3.0, 2);
+  IsolationForest forest;
+  forest.fit(X, y);
+  for (const double s : forest.score(X)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForestTest, ContaminationControlsTrainFlagRate) {
+  auto [X, y] = testing::blob_dataset(400, 0, 4, 0.0, 3);
+  IsolationForestConfig config;
+  config.contamination = 0.10;
+  IsolationForest forest(config);
+  forest.fit(X, y);
+  std::size_t flagged = 0;
+  for (const int p : forest.predict(X)) flagged += p;
+  EXPECT_NEAR(static_cast<double>(flagged), 40.0, 12.0);
+}
+
+TEST(IsolationForestTest, SeparatesShiftedAnomaliesWithMatchingRatio) {
+  // Volta-like: contamination matches the true anomaly rate -> IF works well.
+  auto [X, y] = testing::blob_dataset(360, 40, 6, 5.0, 4);
+  IsolationForestConfig config;
+  config.contamination = 0.10;
+  IsolationForest forest(config);
+  forest.fit(X, y);
+  const double f1 = eval::macro_f1(y, forest.predict(X));
+  EXPECT_GT(f1, 0.85);
+}
+
+TEST(IsolationForestTest, MismatchedContaminationDegradesEclipseStyle) {
+  // Eclipse-style failure mode (paper §6.1): the 10%-contamination threshold
+  // is calibrated to flag ~10% of points, so on a 90%-anomalous test set
+  // with overlapping score distributions IF misses most anomalies and its
+  // macro-F1 collapses relative to the Volta-style (10% anomalous) setting.
+  auto [X_train, y_train] = testing::blob_dataset(360, 40, 6, 1.5, 5);
+  IsolationForestConfig config;
+  config.contamination = 0.10;
+  IsolationForest forest(config);
+  forest.fit(X_train, y_train);
+
+  auto [X_volta, y_volta] = testing::blob_dataset(270, 30, 6, 1.5, 6);
+  const double volta_f1 = eval::macro_f1(y_volta, forest.predict(X_volta));
+
+  auto [X_eclipse, y_eclipse] = testing::blob_dataset(30, 270, 6, 1.5, 7);
+  const double eclipse_f1 = eval::macro_f1(y_eclipse, forest.predict(X_eclipse));
+
+  EXPECT_LT(eclipse_f1, volta_f1 - 0.1);
+  EXPECT_LT(eclipse_f1, 0.6);
+}
+
+TEST(IsolationForestTest, DeterministicForFixedSeed) {
+  auto [X, y] = testing::blob_dataset(150, 15, 4, 3.0, 7);
+  IsolationForestConfig config;
+  config.seed = 42;
+  IsolationForest a(config), b(config);
+  a.fit(X, y);
+  b.fit(X, y);
+  EXPECT_EQ(a.score(X), b.score(X));
+}
+
+TEST(IsolationForestTest, HandlesConstantFeatures) {
+  tensor::Matrix X(100, 3, 1.0);  // every feature constant
+  std::vector<int> y(100, 0);
+  IsolationForest forest;
+  EXPECT_NO_THROW(forest.fit(X, y));
+  const auto scores = forest.score(X);
+  // All points identical -> identical scores.
+  for (const double s : scores) EXPECT_DOUBLE_EQ(s, scores[0]);
+}
+
+TEST(IsolationForestTest, FewerTreesStillWork) {
+  auto [X, y] = testing::blob_dataset(128, 0, 4, 0.0, 8);
+  IsolationForestConfig config;
+  config.n_estimators = 5;
+  IsolationForest forest(config);
+  forest.fit(X, y);
+  EXPECT_EQ(forest.score(X).size(), X.rows());
+}
+
+}  // namespace
+}  // namespace prodigy::baselines

@@ -1,0 +1,92 @@
+#include "baselines/kmeans.hpp"
+
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::baselines {
+namespace {
+
+TEST(KMeansTest, UsageErrors) {
+  KMeansDetector kmeans;
+  EXPECT_EQ(kmeans.name(), "K-means");
+  EXPECT_THROW(kmeans.score(tensor::Matrix(1, 2, 0.0)), std::logic_error);
+  EXPECT_THROW(kmeans.fit(tensor::Matrix{}, {}), std::invalid_argument);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  // Two tight clusters at 0 and 10.
+  util::Rng rng(1);
+  tensor::Matrix X(200, 2);
+  for (std::size_t r = 0; r < 200; ++r) {
+    const double center = r < 100 ? 0.0 : 10.0;
+    X(r, 0) = rng.gaussian(center, 0.3);
+    X(r, 1) = rng.gaussian(center, 0.3);
+  }
+  KMeansConfig config;
+  config.clusters = 2;
+  KMeansDetector kmeans(config);
+  kmeans.fit(X, std::vector<int>(200, 0));
+  ASSERT_EQ(kmeans.centroids().rows(), 2u);
+  // One centroid near each cluster center.
+  const double c0 = kmeans.centroids()(0, 0);
+  const double c1 = kmeans.centroids()(1, 0);
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 0.5);
+  EXPECT_NEAR(std::max(c0, c1), 10.0, 0.5);
+}
+
+TEST(KMeansTest, DistantPointScoresHigh) {
+  auto [X, y] = testing::blob_dataset(200, 0, 3, 0.0, 2);
+  KMeansDetector kmeans;
+  kmeans.fit(X, y);
+  tensor::Matrix probes(2, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    probes(0, c) = 0.0;
+    probes(1, c) = 20.0;
+  }
+  const auto scores = kmeans.score(probes);
+  EXPECT_GT(scores[1], scores[0] * 5.0);
+}
+
+TEST(KMeansTest, ClustersClampToDataSize) {
+  tensor::Matrix X{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  KMeansConfig config;
+  config.clusters = 10;
+  KMeansDetector kmeans(config);
+  kmeans.fit(X, {0, 0, 0});
+  EXPECT_LE(kmeans.centroids().rows(), 3u);
+}
+
+TEST(KMeansTest, ConvergesBeforeMaxIterations) {
+  auto [X, y] = testing::blob_dataset(300, 0, 4, 0.0, 3);
+  KMeansConfig config;
+  config.max_iterations = 100;
+  KMeansDetector kmeans(config);
+  kmeans.fit(X, y);
+  EXPECT_LT(kmeans.iterations_run(), 100u);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  auto [X, y] = testing::blob_dataset(150, 0, 3, 0.0, 4);
+  KMeansConfig config;
+  config.seed = 77;
+  KMeansDetector a(config), b(config);
+  a.fit(X, y);
+  b.fit(X, y);
+  EXPECT_EQ(a.score(X), b.score(X));
+}
+
+TEST(KMeansTest, ContaminationSetsTrainFlagRate) {
+  auto [X, y] = testing::blob_dataset(500, 0, 4, 0.0, 5);
+  KMeansConfig config;
+  config.contamination = 0.10;
+  KMeansDetector kmeans(config);
+  kmeans.fit(X, y);
+  std::size_t flagged = 0;
+  for (const int p : kmeans.predict(X)) flagged += p;
+  EXPECT_NEAR(static_cast<double>(flagged), 50.0, 15.0);
+}
+
+}  // namespace
+}  // namespace prodigy::baselines

@@ -1,0 +1,100 @@
+#include "baselines/lof.hpp"
+
+#include "eval/metrics.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::baselines {
+namespace {
+
+TEST(LofTest, UsageErrors) {
+  LocalOutlierFactor lof;
+  EXPECT_EQ(lof.name(), "Local Outlier Factor");
+  EXPECT_THROW(lof.score(tensor::Matrix(1, 2, 0.0)), std::logic_error);
+  EXPECT_THROW(lof.fit(tensor::Matrix(1, 2, 0.0), {0}), std::invalid_argument);
+}
+
+TEST(LofTest, InlierScoresNearOne) {
+  auto [X, y] = testing::blob_dataset(300, 0, 4, 0.0, 1);
+  LofConfig config;
+  config.n_neighbors = 20;
+  LocalOutlierFactor lof(config);
+  lof.fit(X, y);
+
+  tensor::Matrix center(1, 4, 0.0);
+  const double score = lof.score(center)[0];
+  EXPECT_GT(score, 0.7);
+  EXPECT_LT(score, 1.3);
+}
+
+TEST(LofTest, OutlierScoresWellAboveOne) {
+  auto [X, y] = testing::blob_dataset(300, 0, 4, 0.0, 2);
+  LocalOutlierFactor lof;
+  lof.fit(X, y);
+  tensor::Matrix outlier(1, 4, 15.0);
+  EXPECT_GT(lof.score(outlier)[0], 3.0);
+}
+
+TEST(LofTest, DetectsShiftedAnomalies) {
+  // Training contamination kept below n_neighbors (10 < 20): a handful of
+  // anomalies cannot form a self-supporting dense cluster, so test anomalies
+  // near them still look sparse relative to their healthy neighbourhoods.
+  auto [X_train, y_train] = testing::blob_dataset(290, 10, 5, 6.0, 3);
+  LofConfig config;
+  config.contamination = 0.10;
+  LocalOutlierFactor lof(config);
+  lof.fit(X_train, y_train);
+
+  auto [X_test, y_test] = testing::blob_dataset(90, 10, 5, 6.0, 4);
+  const double f1 = eval::macro_f1(y_test, lof.predict(X_test));
+  EXPECT_GT(f1, 0.6);
+}
+
+TEST(LofTest, DenseAnomalyClusterIsAKnownBlindSpot) {
+  // The flip side (why the paper pairs LOF with other baselines): once the
+  // anomalous training cluster exceeds k, LOF sees it as a legitimate dense
+  // region and stops flagging points near it.
+  auto [X_train, y_train] = testing::blob_dataset(270, 30, 5, 6.0, 5);
+  LofConfig config;
+  config.n_neighbors = 20;  // < 30 cluster size
+  LocalOutlierFactor lof(config);
+  lof.fit(X_train, y_train);
+  tensor::Matrix near_cluster(1, 5, 6.0);
+  EXPECT_LT(lof.score(near_cluster)[0], 1.5);  // looks like an inlier
+}
+
+TEST(LofTest, DuplicateHeavyDataDoesNotExplode) {
+  tensor::Matrix X(60, 3, 1.0);  // all identical -> infinite densities
+  for (std::size_t r = 50; r < 60; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) X(r, c) = 5.0 + static_cast<double>(r);
+  }
+  std::vector<int> y(60, 0);
+  LocalOutlierFactor lof;
+  EXPECT_NO_THROW(lof.fit(X, y));
+  const auto scores = lof.score(X);
+  for (const double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(LofTest, NeighbourCountClampsToDatasetSize) {
+  auto [X, y] = testing::blob_dataset(10, 0, 3, 0.0, 5);
+  LofConfig config;
+  config.n_neighbors = 50;  // more than available
+  LocalOutlierFactor lof(config);
+  EXPECT_NO_THROW(lof.fit(X, y));
+  EXPECT_EQ(lof.score(X).size(), 10u);
+}
+
+TEST(LofTest, ContaminationSetsTrainFlagRate) {
+  auto [X, y] = testing::blob_dataset(400, 0, 4, 0.0, 6);
+  LofConfig config;
+  config.contamination = 0.10;
+  LocalOutlierFactor lof(config);
+  lof.fit(X, y);
+  std::size_t flagged = 0;
+  for (const int p : lof.predict(X)) flagged += p;
+  EXPECT_NEAR(static_cast<double>(flagged), 40.0, 15.0);
+}
+
+}  // namespace
+}  // namespace prodigy::baselines

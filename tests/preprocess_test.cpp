@@ -1,0 +1,161 @@
+#include "pipeline/preprocess.hpp"
+
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace prodigy::pipeline {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(InterpolateTest, FillsInteriorGapLinearly) {
+  std::vector<double> xs{0.0, kNaN, kNaN, 3.0};
+  linear_interpolate(xs);
+  EXPECT_DOUBLE_EQ(xs[1], 1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 2.0);
+}
+
+TEST(InterpolateTest, BackfillsLeadingGap) {
+  std::vector<double> xs{kNaN, kNaN, 5.0, 6.0};
+  linear_interpolate(xs);
+  EXPECT_DOUBLE_EQ(xs[0], 5.0);
+  EXPECT_DOUBLE_EQ(xs[1], 5.0);
+}
+
+TEST(InterpolateTest, ForwardFillsTrailingGap) {
+  std::vector<double> xs{1.0, 2.0, kNaN, kNaN};
+  linear_interpolate(xs);
+  EXPECT_DOUBLE_EQ(xs[2], 2.0);
+  EXPECT_DOUBLE_EQ(xs[3], 2.0);
+}
+
+TEST(InterpolateTest, AllNaNBecomesZeros) {
+  std::vector<double> xs{kNaN, kNaN, kNaN};
+  linear_interpolate(xs);
+  for (const double x : xs) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(InterpolateTest, NoNaNsUnchanged) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto original = xs;
+  linear_interpolate(xs);
+  EXPECT_EQ(xs, original);
+}
+
+TEST(InterpolateTest, MultipleGaps) {
+  std::vector<double> xs{0.0, kNaN, 2.0, kNaN, kNaN, 8.0};
+  linear_interpolate(xs);
+  EXPECT_DOUBLE_EQ(xs[1], 1.0);
+  EXPECT_DOUBLE_EQ(xs[3], 4.0);
+  EXPECT_DOUBLE_EQ(xs[4], 6.0);
+}
+
+TEST(CounterToRateTest, FirstDifference) {
+  const std::vector<double> counter{100, 110, 125, 125, 160};
+  const auto rates = counter_to_rate(counter);
+  ASSERT_EQ(rates.size(), counter.size());
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);  // duplicated second diff keeps alignment
+  EXPECT_DOUBLE_EQ(rates[1], 10.0);
+  EXPECT_DOUBLE_EQ(rates[2], 15.0);
+  EXPECT_DOUBLE_EQ(rates[3], 0.0);
+  EXPECT_DOUBLE_EQ(rates[4], 35.0);
+}
+
+TEST(CounterToRateTest, ShortSeries) {
+  EXPECT_EQ(counter_to_rate(std::vector<double>{5.0}).size(), 1u);
+  EXPECT_DOUBLE_EQ(counter_to_rate(std::vector<double>{5.0})[0], 0.0);
+}
+
+class PreprocessNodeTest : public ::testing::Test {
+ protected:
+  // A raw frame over the real catalog: gauges constant 100, counters ramp.
+  tensor::Matrix make_raw(std::size_t timestamps) {
+    const auto& catalog = telemetry::metric_catalog();
+    tensor::Matrix raw(timestamps, catalog.size());
+    for (std::size_t t = 0; t < timestamps; ++t) {
+      for (std::size_t m = 0; m < catalog.size(); ++m) {
+        raw(t, m) = catalog[m].kind == telemetry::MetricKind::Counter
+                        ? 1000.0 + 5.0 * static_cast<double>(t)
+                        : 100.0;
+      }
+    }
+    return raw;
+  }
+};
+
+TEST_F(PreprocessNodeTest, TrimsHeadAndTail) {
+  PreprocessOptions options;
+  options.trim_seconds = 60;
+  const auto out = preprocess_node(make_raw(300), options);
+  EXPECT_EQ(out.rows(), 300u - 120u);
+  EXPECT_EQ(out.cols(), telemetry::metric_count());
+}
+
+TEST_F(PreprocessNodeTest, CountersBecomeRates) {
+  PreprocessOptions options;
+  options.trim_seconds = 10;
+  const auto out = preprocess_node(make_raw(100), options);
+  const auto& catalog = telemetry::metric_catalog();
+  for (std::size_t m = 0; m < catalog.size(); ++m) {
+    const double expected =
+        catalog[m].kind == telemetry::MetricKind::Counter ? 5.0 : 100.0;
+    EXPECT_DOUBLE_EQ(out(5, m), expected) << telemetry::full_metric_name(catalog[m]);
+  }
+}
+
+TEST_F(PreprocessNodeTest, ShortRunsShrinkTrimInsteadOfVanishing) {
+  PreprocessOptions options;
+  options.trim_seconds = 60;
+  options.min_timestamps = 16;
+  const auto out = preprocess_node(make_raw(40), options);
+  EXPECT_GE(out.rows(), 16u);
+  EXPECT_LT(out.rows(), 40u);
+}
+
+TEST_F(PreprocessNodeTest, InterpolationAppliedBeforeDiff) {
+  auto raw = make_raw(50);
+  raw(10, 0) = kNaN;  // gauge gap
+  // Counter gap: find the first counter column.
+  std::size_t counter_col = 0;
+  const auto& catalog = telemetry::metric_catalog();
+  for (std::size_t m = 0; m < catalog.size(); ++m) {
+    if (catalog[m].kind == telemetry::MetricKind::Counter) {
+      counter_col = m;
+      break;
+    }
+  }
+  raw(20, counter_col) = kNaN;
+  PreprocessOptions options;
+  options.trim_seconds = 0;
+  const auto out = preprocess_node(raw, options);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(out.data()[i]));
+  }
+  // The interpolated counter still produces the constant rate.
+  EXPECT_DOUBLE_EQ(out(20, counter_col), 5.0);
+}
+
+TEST_F(PreprocessNodeTest, OptionsCanDisableStages) {
+  auto raw = make_raw(30);
+  PreprocessOptions options;
+  options.trim_seconds = 0;
+  options.diff_counters = false;
+  const auto out = preprocess_node(raw, options);
+  // Counters stay accumulated.
+  std::size_t counter_col = 0;
+  const auto& catalog = telemetry::metric_catalog();
+  for (std::size_t m = 0; m < catalog.size(); ++m) {
+    if (catalog[m].kind == telemetry::MetricKind::Counter) {
+      counter_col = m;
+      break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(out(2, counter_col), 1010.0);
+}
+
+}  // namespace
+}  // namespace prodigy::pipeline

@@ -1,0 +1,121 @@
+#include "pipeline/scaler.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace prodigy::pipeline {
+namespace {
+
+TEST(ScalerTest, KindStringRoundTrip) {
+  EXPECT_EQ(scaler_kind_from_string(to_string(ScalerKind::MinMax)), ScalerKind::MinMax);
+  EXPECT_EQ(scaler_kind_from_string(to_string(ScalerKind::Standard)),
+            ScalerKind::Standard);
+  EXPECT_THROW(scaler_kind_from_string("robust"), std::invalid_argument);
+}
+
+TEST(ScalerTest, MinMaxMapsTrainingDataToUnitInterval) {
+  tensor::Matrix X{{0.0, -10.0}, {5.0, 0.0}, {10.0, 10.0}};
+  Scaler scaler(ScalerKind::MinMax);
+  const auto scaled = scaler.fit_transform(X);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(scaled(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(2, 1), 1.0);
+}
+
+TEST(ScalerTest, MinMaxTestDataMayExceedRange) {
+  tensor::Matrix train{{0.0}, {10.0}};
+  Scaler scaler(ScalerKind::MinMax);
+  scaler.fit(train);
+  const tensor::Matrix test{{20.0}};
+  EXPECT_DOUBLE_EQ(scaler.transform(test)(0, 0), 2.0);  // no clamping (sklearn)
+}
+
+TEST(ScalerTest, StandardZeroMeanUnitVariance) {
+  util::Rng rng(1);
+  tensor::Matrix X(500, 2);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    X(r, 0) = rng.gaussian(5.0, 3.0);
+    X(r, 1) = rng.gaussian(-2.0, 0.5);
+  }
+  Scaler scaler(ScalerKind::Standard);
+  const auto scaled = scaler.fit_transform(X);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < X.rows(); ++r) mean += scaled(r, c);
+    mean /= static_cast<double>(X.rows());
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      var += (scaled(r, c) - mean) * (scaled(r, c) - mean);
+    }
+    var /= static_cast<double>(X.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantColumnsStayFinite) {
+  tensor::Matrix X{{3.0}, {3.0}, {3.0}};
+  for (const auto kind : {ScalerKind::MinMax, ScalerKind::Standard}) {
+    Scaler scaler(kind);
+    const auto scaled = scaler.fit_transform(X);
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(scaled.data()[i]));
+    }
+  }
+}
+
+TEST(ScalerTest, InverseTransformRoundTrips) {
+  util::Rng rng(2);
+  tensor::Matrix X(20, 3);
+  for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] = rng.gaussian(7.0, 4.0);
+  for (const auto kind : {ScalerKind::MinMax, ScalerKind::Standard}) {
+    Scaler scaler(kind);
+    const auto recovered = scaler.inverse_transform(scaler.fit_transform(X));
+    for (std::size_t i = 0; i < X.size(); ++i) {
+      EXPECT_NEAR(recovered.data()[i], X.data()[i], 1e-9);
+    }
+  }
+}
+
+TEST(ScalerTest, UsageErrors) {
+  Scaler scaler;
+  const tensor::Matrix X(2, 2, 1.0);
+  EXPECT_THROW(scaler.transform(X), std::logic_error);
+  EXPECT_THROW(scaler.inverse_transform(X), std::logic_error);
+  EXPECT_THROW(scaler.fit(tensor::Matrix{}), std::invalid_argument);
+  scaler.fit(X);
+  EXPECT_THROW(scaler.transform(tensor::Matrix(2, 3, 1.0)), std::invalid_argument);
+}
+
+TEST(ScalerTest, SaveLoadPreservesTransform) {
+  util::Rng rng(3);
+  tensor::Matrix X(10, 4);
+  for (std::size_t i = 0; i < X.size(); ++i) X.data()[i] = rng.uniform(-5.0, 5.0);
+  Scaler scaler(ScalerKind::Standard);
+  scaler.fit(X);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_scaler_test.bin").string();
+  {
+    util::BinaryWriter writer(path);
+    scaler.save(writer);
+  }
+  util::BinaryReader reader(path);
+  const Scaler loaded = Scaler::load(reader);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.kind(), ScalerKind::Standard);
+  const auto a = scaler.transform(X);
+  const auto b = loaded.transform(X);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace prodigy::pipeline

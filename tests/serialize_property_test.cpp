@@ -1,0 +1,125 @@
+// Round-trip property tests for every persistable artifact: random payloads
+// in, identical payloads out — across sizes and value ranges.
+#include "core/model_trainer.hpp"
+#include "pipeline/scaler.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+namespace prodigy {
+namespace {
+
+class SerializePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::string temp_path(const char* tag) const {
+    return (std::filesystem::temp_directory_path() /
+            (std::string("prodigy_roundtrip_") + tag + "_" +
+             std::to_string(GetParam()) + ".bin"))
+        .string();
+  }
+};
+
+TEST_P(SerializePropertyTest, MixedPayloadRoundTrips) {
+  util::Rng rng(GetParam());
+  const auto path = temp_path("mixed");
+
+  const auto count = 1 + rng.uniform_index(50);
+  std::vector<double> doubles(count);
+  for (auto& d : doubles) {
+    // Exercise subnormals, huge values, negative zero.
+    const double magnitude = std::pow(10.0, rng.uniform(-300.0, 300.0));
+    d = (rng.bernoulli(0.5) ? 1.0 : -1.0) * magnitude;
+  }
+  std::vector<std::string> strings;
+  for (std::size_t i = 0; i < 1 + rng.uniform_index(10); ++i) {
+    std::string s;
+    for (std::size_t c = 0; c < rng.uniform_index(32); ++c) {
+      s += static_cast<char>(rng.uniform_index(256));  // arbitrary bytes
+    }
+    strings.push_back(std::move(s));
+  }
+  const auto u = rng();
+  const auto i = static_cast<std::int64_t>(rng()) - (1LL << 62);
+
+  {
+    util::BinaryWriter writer(path);
+    writer.write_magic(0xABCDEF, 3);
+    writer.write_u64(u);
+    writer.write_i64(i);
+    writer.write_f64_vector(doubles);
+    writer.write_string_vector(strings);
+  }
+  util::BinaryReader reader(path);
+  reader.expect_magic(0xABCDEF, 3);
+  EXPECT_EQ(reader.read_u64(), u);
+  EXPECT_EQ(reader.read_i64(), i);
+  EXPECT_EQ(reader.read_f64_vector(), doubles);
+  EXPECT_EQ(reader.read_string_vector(), strings);
+  std::remove(path.c_str());
+}
+
+TEST_P(SerializePropertyTest, ScalerRoundTripsExactly) {
+  util::Rng rng(GetParam() ^ 0x51);
+  const std::size_t dims = 1 + rng.uniform_index(40);
+  tensor::Matrix X(8 + rng.uniform_index(20), dims);
+  for (std::size_t k = 0; k < X.size(); ++k) {
+    X.data()[k] = rng.gaussian(rng.uniform(-100.0, 100.0), rng.uniform(0.1, 50.0));
+  }
+  const auto kind = GetParam() % 2 == 0 ? pipeline::ScalerKind::MinMax
+                                        : pipeline::ScalerKind::Standard;
+  pipeline::Scaler scaler(kind);
+  scaler.fit(X);
+
+  const auto path = temp_path("scaler");
+  {
+    util::BinaryWriter writer(path);
+    scaler.save(writer);
+  }
+  util::BinaryReader reader(path);
+  const auto loaded = pipeline::Scaler::load(reader);
+  std::remove(path.c_str());
+
+  const auto a = scaler.transform(X);
+  const auto b = loaded.transform(X);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.data()[k], b.data()[k]);
+  }
+}
+
+TEST_P(SerializePropertyTest, MetadataRoundTripsExactly) {
+  util::Rng rng(GetParam() ^ 0x99);
+  core::DeploymentMetadata metadata;
+  metadata.system = GetParam() % 2 ? "Eclipse" : "Volta";
+  for (std::size_t i = 0; i < 1 + rng.uniform_index(64); ++i) {
+    metadata.feature_names.push_back("metric" + std::to_string(rng.uniform_index(50)) +
+                                     "::vmstat::feature" + std::to_string(i));
+    metadata.selected_columns.push_back(rng.uniform_index(100000));
+  }
+  metadata.train_anomaly_ratio = rng.uniform();
+  metadata.training_samples = rng.uniform_index(1u << 20);
+
+  const auto path = temp_path("meta");
+  {
+    util::BinaryWriter writer(path);
+    metadata.save(writer);
+  }
+  util::BinaryReader reader(path);
+  const auto loaded = core::DeploymentMetadata::load(reader);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.system, metadata.system);
+  EXPECT_EQ(loaded.feature_names, metadata.feature_names);
+  EXPECT_EQ(loaded.selected_columns, metadata.selected_columns);
+  EXPECT_DOUBLE_EQ(loaded.train_anomaly_ratio, metadata.train_anomaly_ratio);
+  EXPECT_EQ(loaded.training_samples, metadata.training_samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace prodigy

@@ -1,0 +1,127 @@
+#include "pipeline/splits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace prodigy::pipeline {
+namespace {
+
+std::vector<int> make_labels(std::size_t healthy, std::size_t anomalous) {
+  std::vector<int> labels(healthy, 0);
+  labels.insert(labels.end(), anomalous, 1);
+  return labels;
+}
+
+std::pair<std::size_t, std::size_t> class_counts(const std::vector<int>& labels,
+                                                 const std::vector<std::size_t>& idx) {
+  std::size_t healthy = 0, anomalous = 0;
+  for (const auto i : idx) (labels[i] != 0 ? anomalous : healthy) += 1;
+  return {healthy, anomalous};
+}
+
+void expect_partition(const SplitIndices& split, std::size_t n) {
+  std::set<std::size_t> seen;
+  for (const auto i : split.train) EXPECT_TRUE(seen.insert(i).second);
+  for (const auto i : split.test) EXPECT_TRUE(seen.insert(i).second);
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST(StratifiedSplitTest, PreservesClassRatio) {
+  const auto labels = make_labels(800, 200);
+  const auto split = stratified_split(labels, 0.2, 1);
+  expect_partition(split, labels.size());
+  const auto [train_h, train_a] = class_counts(labels, split.train);
+  EXPECT_EQ(train_h, 160u);
+  EXPECT_EQ(train_a, 40u);
+}
+
+TEST(StratifiedSplitTest, InvalidFractionThrows) {
+  const auto labels = make_labels(10, 10);
+  EXPECT_THROW(stratified_split(labels, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_split(labels, 1.0, 1), std::invalid_argument);
+}
+
+TEST(StratifiedSplitTest, DifferentSeedsShuffleDifferently) {
+  const auto labels = make_labels(100, 100);
+  const auto a = stratified_split(labels, 0.5, 1);
+  const auto b = stratified_split(labels, 0.5, 2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(StratifiedSplitTest, SameSeedIsDeterministic) {
+  const auto labels = make_labels(50, 50);
+  const auto a = stratified_split(labels, 0.3, 7);
+  const auto b = stratified_split(labels, 0.3, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(ProdigySplitTest, ReproducesPaperRatios) {
+  // Paper §5.4.2 (Eclipse): 24,566 samples, 6,325 healthy; 20-80 split with a
+  // 10% training anomaly cap leaves the test side ~90% anomalous.
+  const auto labels = make_labels(6325, 24566 - 6325);
+  const auto split = prodigy_split(labels, 0.2, 0.10, 3);
+  expect_partition(split, labels.size());
+
+  const auto [train_h, train_a] = class_counts(labels, split.train);
+  const double train_ratio =
+      static_cast<double>(train_a) / static_cast<double>(train_a + train_h);
+  EXPECT_NEAR(train_ratio, 0.10, 0.005);
+
+  const auto [test_h, test_a] = class_counts(labels, split.test);
+  const double test_ratio =
+      static_cast<double>(test_a) / static_cast<double>(test_a + test_h);
+  EXPECT_NEAR(test_ratio, 0.90, 0.02);
+}
+
+TEST(ProdigySplitTest, VoltaLikeDataKeepsNativeRatio) {
+  // Volta: 20,915 samples, 18,980 healthy (~9.3% anomalous) — already under
+  // the 10% cap, so nothing moves.
+  const auto labels = make_labels(18980, 20915 - 18980);
+  const auto split = prodigy_split(labels, 0.2, 0.10, 5);
+  const auto [train_h, train_a] = class_counts(labels, split.train);
+  const double train_ratio =
+      static_cast<double>(train_a) / static_cast<double>(train_a + train_h);
+  EXPECT_NEAR(train_ratio, 0.093, 0.01);
+  EXPECT_NEAR(static_cast<double>(split.train.size()),
+              0.2 * static_cast<double>(labels.size()), 10.0);
+}
+
+class KFoldTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KFoldTest, FoldsPartitionTheData) {
+  const std::size_t k = GetParam();
+  const auto labels = make_labels(90, 30);
+  const auto folds = stratified_kfold(labels, k, 11);
+  ASSERT_EQ(folds.size(), k);
+
+  // Every sample appears in exactly one test fold.
+  std::vector<std::size_t> test_count(labels.size(), 0);
+  for (const auto& fold : folds) {
+    expect_partition(fold, labels.size());
+    for (const auto i : fold.test) ++test_count[i];
+  }
+  for (const auto count : test_count) EXPECT_EQ(count, 1u);
+}
+
+TEST_P(KFoldTest, FoldsAreStratified) {
+  const std::size_t k = GetParam();
+  const auto labels = make_labels(400, 100);
+  const auto folds = stratified_kfold(labels, k, 13);
+  for (const auto& fold : folds) {
+    const auto [h, a] = class_counts(labels, fold.test);
+    const double ratio = static_cast<double>(a) / static_cast<double>(a + h);
+    EXPECT_NEAR(ratio, 0.2, 0.03);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousK, KFoldTest, ::testing::Values(2, 3, 5, 10));
+
+TEST(KFoldTest, RejectsSingleFold) {
+  EXPECT_THROW(stratified_kfold(make_labels(10, 10), 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodigy::pipeline

@@ -1,0 +1,127 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace prodigy::tensor {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, FromRows) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_THROW(Matrix::from_rows({{1}, {2, 3}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(MatrixTest, RowSpanWritesThrough) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(MatrixTest, ColumnExtractAndSet) {
+  Matrix m{{1, 2}, {3, 4}};
+  const auto col = m.column(1);
+  EXPECT_EQ(col, (std::vector<double>{2, 4}));
+  const std::vector<double> fresh{7, 8};
+  m.set_column(0, fresh);
+  EXPECT_DOUBLE_EQ(m(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 8.0);
+  EXPECT_THROW(m.column(5), std::out_of_range);
+}
+
+TEST(MatrixTest, SetRowValidatesLength) {
+  Matrix m(2, 3);
+  const std::vector<double> bad{1, 2};
+  EXPECT_THROW(m.set_row(0, bad), std::out_of_range);
+}
+
+TEST(MatrixTest, SliceRows) {
+  Matrix m{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  const Matrix mid = m.slice_rows(1, 2);
+  EXPECT_EQ(mid.rows(), 2u);
+  EXPECT_DOUBLE_EQ(mid(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(mid(1, 0), 3.0);
+  EXPECT_THROW(m.slice_rows(3, 2), std::out_of_range);
+}
+
+TEST(MatrixTest, SelectRowsReorders) {
+  Matrix m{{1, 0}, {2, 0}, {3, 0}};
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix sel = m.select_rows(idx);
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel(1, 0), 1.0);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(m.select_rows(bad), std::out_of_range);
+}
+
+TEST(MatrixTest, SelectColumnsReorders) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix sel = m.select_columns(idx);
+  EXPECT_EQ(sel.cols(), 2u);
+  EXPECT_DOUBLE_EQ(sel(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sel(1, 1), 4.0);
+  const std::vector<std::size_t> bad{3};
+  EXPECT_THROW(m.select_columns(bad), std::out_of_range);
+}
+
+TEST(MatrixTest, ElementwiseAddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{10, 20}, {30, 40}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(MatrixTest, ShapeString) {
+  EXPECT_EQ(Matrix(3, 4).shape_string(), "(3x4)");
+}
+
+}  // namespace
+}  // namespace prodigy::tensor

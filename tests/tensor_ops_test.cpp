@@ -1,0 +1,147 @@
+#include "tensor/ops.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prodigy::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.gaussian();
+  return m;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, double tol = 1e-9) {
+  ASSERT_TRUE(a.same_shape(b)) << a.shape_string() << " vs " << b.shape_string();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], tol);
+  }
+}
+
+TEST(OpsTest, MatmulHandComputed) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(OpsTest, MatmulDimensionMismatchThrows) {
+  EXPECT_THROW(matmul(Matrix(2, 3), Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(OpsTest, MatmulIdentity) {
+  const Matrix a = random_matrix(5, 5, 1);
+  Matrix eye(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) eye(i, i) = 1.0;
+  expect_near(matmul(a, eye), a);
+  expect_near(matmul(eye, a), a);
+}
+
+TEST(OpsTest, LargeMatmulMatchesNaive) {
+  // Big enough to trigger the threaded path.
+  const Matrix a = random_matrix(70, 130, 2);
+  const Matrix b = random_matrix(130, 90, 3);
+  const Matrix c = matmul(a, b);
+  // Naive spot checks.
+  util::Rng rng(4);
+  for (int check = 0; check < 20; ++check) {
+    const auto r = rng.uniform_index(70);
+    const auto j = rng.uniform_index(90);
+    double expected = 0.0;
+    for (std::size_t k = 0; k < 130; ++k) expected += a(r, k) * b(k, j);
+    EXPECT_NEAR(c(r, j), expected, 1e-9);
+  }
+}
+
+TEST(OpsTest, TransposedVariantsAgree) {
+  const Matrix a = random_matrix(7, 11, 5);
+  const Matrix b = random_matrix(11, 13, 6);
+  expect_near(matmul_transposed_b(a, transpose(b)), matmul(a, b));
+  expect_near(matmul_transposed_a(transpose(a), b), matmul(a, b));
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  const Matrix a = random_matrix(4, 9, 7);
+  expect_near(transpose(transpose(a)), a);
+}
+
+TEST(OpsTest, AddRowVector) {
+  Matrix m{{1, 2}, {3, 4}};
+  const std::vector<double> bias{10, 20};
+  add_row_vector(m, bias);
+  EXPECT_DOUBLE_EQ(m(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 24.0);
+  const std::vector<double> bad{1};
+  EXPECT_THROW(add_row_vector(m, bad), std::invalid_argument);
+}
+
+TEST(OpsTest, MapAppliesElementwise) {
+  const Matrix m{{1, -2}, {-3, 4}};
+  const Matrix mapped = map(m, [](double x) { return std::abs(x); });
+  EXPECT_DOUBLE_EQ(mapped(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(mapped(1, 0), 3.0);
+}
+
+TEST(OpsTest, HadamardInplace) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{2, 2}, {0.5, 1}};
+  hadamard_inplace(a, b);
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.5);
+}
+
+TEST(OpsTest, ColumnSums) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto sums = column_sums(m);
+  EXPECT_DOUBLE_EQ(sums[0], 9.0);
+  EXPECT_DOUBLE_EQ(sums[1], 12.0);
+}
+
+TEST(OpsTest, RowwiseMeanAbsError) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{1, 4}, {0, 4}};
+  const auto errors = rowwise_mean_abs_error(a, b);
+  EXPECT_DOUBLE_EQ(errors[0], 1.0);   // (0 + 2) / 2
+  EXPECT_DOUBLE_EQ(errors[1], 1.5);   // (3 + 0) / 2
+}
+
+TEST(OpsTest, RowwiseMeanSquaredError) {
+  const Matrix a{{1, 2}};
+  const Matrix b{{3, 2}};
+  const auto errors = rowwise_mean_squared_error(a, b);
+  EXPECT_DOUBLE_EQ(errors[0], 2.0);  // (4 + 0) / 2
+}
+
+TEST(OpsTest, Distances) {
+  const std::vector<double> x{0, 0}, y{3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(x, y), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(x, y), 5.0);
+  const std::vector<double> z{1};
+  EXPECT_THROW(squared_distance(x, z), std::invalid_argument);
+}
+
+TEST(OpsTest, Vstack) {
+  const Matrix top{{1, 2}};
+  const Matrix bottom{{3, 4}, {5, 6}};
+  const Matrix stacked = vstack(top, bottom);
+  EXPECT_EQ(stacked.rows(), 3u);
+  EXPECT_DOUBLE_EQ(stacked(2, 1), 6.0);
+  EXPECT_THROW(vstack(Matrix(1, 2), Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(OpsTest, VstackWithEmpty) {
+  const Matrix m{{1, 2}};
+  EXPECT_EQ(vstack(Matrix{}, m).rows(), 1u);
+  EXPECT_EQ(vstack(m, Matrix{}).rows(), 1u);
+}
+
+}  // namespace
+}  // namespace prodigy::tensor

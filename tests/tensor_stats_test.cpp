@@ -1,0 +1,136 @@
+#include "tensor/stats.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace prodigy::tensor {
+namespace {
+
+const std::vector<double> kSimple{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(StatsTest, SumAndMean) {
+  EXPECT_DOUBLE_EQ(sum(kSimple), 40.0);
+  EXPECT_DOUBLE_EQ(mean(kSimple), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceAndStddevKnownValues) {
+  // Classic example: population stddev of kSimple is exactly 2.
+  EXPECT_DOUBLE_EQ(variance(kSimple), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(kSimple), 2.0);
+}
+
+TEST(StatsTest, VarianceOfConstantIsZero) {
+  const std::vector<double> constant(10, 3.3);
+  EXPECT_DOUBLE_EQ(variance(constant), 0.0);
+}
+
+TEST(StatsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(kSimple), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(kSimple), 9.0);
+  EXPECT_DOUBLE_EQ(min_value(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs{0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 0.5);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  const std::vector<double> xs{4, 0, 3, 1, 2};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+}
+
+TEST(StatsTest, QuantileClampsOutOfRange) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(StatsTest, QuantileSortedSingleton) {
+  const std::vector<double> xs{42};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.7), 42.0);
+}
+
+TEST(StatsTest, SkewnessSigns) {
+  // Right-skewed data -> positive skewness.
+  const std::vector<double> right{1, 1, 1, 2, 2, 3, 8, 20};
+  EXPECT_GT(skewness(right), 0.5);
+  // Symmetric data -> ~0.
+  const std::vector<double> symmetric{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(symmetric), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(skewness(std::vector<double>(5, 1.0)), 0.0);
+}
+
+TEST(StatsTest, KurtosisOfGaussianNearZero) {
+  util::Rng rng(11);
+  std::vector<double> xs(200000);
+  for (auto& x : xs) x = rng.gaussian();
+  EXPECT_NEAR(kurtosis(xs), 0.0, 0.1);
+}
+
+TEST(StatsTest, KurtosisHeavyTailsPositive) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 50.0;
+  xs[1] = -50.0;
+  EXPECT_GT(kurtosis(xs), 5.0);
+}
+
+TEST(StatsTest, PearsonCorrelationPerfect) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelationConstantIsZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> c{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, c), 0.0);
+}
+
+TEST(StatsTest, PearsonCorrelationLengthMismatchThrows) {
+  const std::vector<double> x{1, 2}, y{1};
+  EXPECT_THROW(pearson_correlation(x, y), std::invalid_argument);
+}
+
+TEST(StatsTest, AutocorrelationOfSineAtPeriod) {
+  std::vector<double> xs(200);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 20.0);
+  }
+  EXPECT_GT(autocorrelation(xs, 20), 0.9);   // full period: in phase
+  EXPECT_LT(autocorrelation(xs, 10), -0.9);  // half period: anti-phase
+}
+
+TEST(StatsTest, AutocorrelationDegenerate) {
+  const std::vector<double> constant(10, 2.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(constant, 1), 0.0);
+  const std::vector<double> tiny{1.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(tiny, 1), 0.0);
+}
+
+TEST(StatsTest, AutocorrelationLagOneOfNoiseSmall) {
+  util::Rng rng(12);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.gaussian();
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace prodigy::tensor

@@ -1,0 +1,131 @@
+#include "util/csv.hpp"
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace prodigy::util {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(CsvTest, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvTest, EscapeQuotesCommasNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, RoundTripSimpleTable) {
+  TempFile file("prodigy_csv_test1.csv");
+  CsvTable table;
+  table.header = {"model", "f1", "dataset"};
+  table.rows = {{"Prodigy", "0.95", "Eclipse"}, {"USAD", "0.68", "Eclipse"}};
+  write_csv(file.path(), table);
+  const CsvTable loaded = read_csv(file.path());
+  EXPECT_EQ(loaded.header, table.header);
+  EXPECT_EQ(loaded.rows, table.rows);
+}
+
+TEST(CsvTest, RoundTripQuotedFields) {
+  TempFile file("prodigy_csv_test2.csv");
+  CsvTable table;
+  table.header = {"name", "note"};
+  table.rows = {{"a,b", "quote \"x\" here"}};
+  write_csv(file.path(), table);
+  const CsvTable loaded = read_csv(file.path());
+  EXPECT_EQ(loaded.rows, table.rows);
+}
+
+TEST(CsvTest, ColumnIndexFindsAndThrows) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  EXPECT_EQ(table.column_index("b"), 1u);
+  EXPECT_THROW(table.column_index("missing"), std::out_of_range);
+}
+
+TEST(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/dir/file.csv"), std::runtime_error);
+}
+
+TEST(SerializeTest, RoundTripScalars) {
+  TempFile file("prodigy_bin_test1.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.write_u64(42);
+    writer.write_i64(-7);
+    writer.write_f64(3.25);
+    writer.write_string("prodigy");
+  }
+  BinaryReader reader(file.path());
+  EXPECT_EQ(reader.read_u64(), 42u);
+  EXPECT_EQ(reader.read_i64(), -7);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), 3.25);
+  EXPECT_EQ(reader.read_string(), "prodigy");
+}
+
+TEST(SerializeTest, RoundTripVectors) {
+  TempFile file("prodigy_bin_test2.bin");
+  const std::vector<double> values{1.5, -2.5, 0.0, 1e300};
+  const std::vector<std::string> names{"MemFree::meminfo", "pgfault::vmstat", ""};
+  {
+    BinaryWriter writer(file.path());
+    writer.write_f64_vector(values);
+    writer.write_string_vector(names);
+  }
+  BinaryReader reader(file.path());
+  EXPECT_EQ(reader.read_f64_vector(), values);
+  EXPECT_EQ(reader.read_string_vector(), names);
+}
+
+TEST(SerializeTest, MagicMismatchThrows) {
+  TempFile file("prodigy_bin_test3.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.write_magic(0xAA, 1);
+  }
+  BinaryReader reader(file.path());
+  EXPECT_THROW(reader.expect_magic(0xBB, 1), std::runtime_error);
+}
+
+TEST(SerializeTest, VersionMismatchThrows) {
+  TempFile file("prodigy_bin_test4.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.write_magic(0xAA, 1);
+  }
+  BinaryReader reader(file.path());
+  EXPECT_THROW(reader.expect_magic(0xAA, 2), std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedReadThrows) {
+  TempFile file("prodigy_bin_test5.bin");
+  {
+    BinaryWriter writer(file.path());
+    writer.write_u64(1);
+  }
+  BinaryReader reader(file.path());
+  reader.read_u64();
+  EXPECT_THROW(reader.read_u64(), std::runtime_error);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(BinaryReader("/nonexistent/dir/f.bin"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace prodigy::util

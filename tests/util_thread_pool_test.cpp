@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace prodigy::util {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  pool.submit([&value] { value = 42; }).get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelForTest, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ParallelForTest, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::logic_error("bad index");
+                   }),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  parallel_for(pool, 0, 10, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // sequential execution preserves order
+}
+
+TEST(ParallelForTest, GlobalPoolOverloadWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelForTest, LargeGrainStillCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 10, [&](std::size_t) { ++count; }, 100);
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace prodigy::util

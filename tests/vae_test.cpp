@@ -1,0 +1,180 @@
+#include "core/vae.hpp"
+
+#include "test_helpers.hpp"
+#include "tensor/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace prodigy::core {
+namespace {
+
+VaeConfig small_config(std::size_t input_dim) {
+  VaeConfig config;
+  config.input_dim = input_dim;
+  config.encoder_hidden = {16, 8};
+  config.latent_dim = 3;
+  config.seed = 5;
+  return config;
+}
+
+nn::TrainOptions fast_options() {
+  nn::TrainOptions options;
+  options.epochs = 120;
+  options.batch_size = 32;
+  options.learning_rate = 2e-3;
+  options.seed = 9;
+  return options;
+}
+
+/// Correlated healthy data on a low-dimensional manifold.
+tensor::Matrix manifold_data(std::size_t n, std::size_t dims, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Matrix X(n, dims);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double t = rng.uniform(-1.0, 1.0);
+    const double u = rng.uniform(-1.0, 1.0);
+    for (std::size_t c = 0; c < dims; ++c) {
+      const double weight_t = std::sin(static_cast<double>(c));
+      const double weight_u = std::cos(static_cast<double>(c) * 0.7);
+      X(r, c) = weight_t * t + weight_u * u + 0.02 * rng.gaussian();
+    }
+  }
+  return X;
+}
+
+TEST(VaeTest, ConstructorValidatesConfig) {
+  VaeConfig bad;
+  bad.input_dim = 0;
+  EXPECT_THROW(VariationalAutoencoder{bad}, std::invalid_argument);
+  VaeConfig no_hidden = small_config(4);
+  no_hidden.encoder_hidden.clear();
+  EXPECT_THROW(VariationalAutoencoder{no_hidden}, std::invalid_argument);
+}
+
+TEST(VaeTest, ParameterCountMatchesArchitecture) {
+  const VariationalAutoencoder vae(small_config(10));
+  // encoder: 10*16+16 + 16*8+8; heads: 2*(8*3+3); decoder: 3*8+8 + 8*16+16 + 16*10+10.
+  const std::size_t expected = (10 * 16 + 16) + (16 * 8 + 8) + 2 * (8 * 3 + 3) +
+                               (3 * 8 + 8) + (8 * 16 + 16) + (16 * 10 + 10);
+  EXPECT_EQ(vae.parameter_count(), expected);
+}
+
+TEST(VaeTest, FitRejectsWrongWidth) {
+  VariationalAutoencoder vae(small_config(5));
+  EXPECT_THROW(vae.fit(tensor::Matrix(10, 4, 0.0), fast_options()),
+               std::invalid_argument);
+}
+
+TEST(VaeTest, TrainingLossDecreases) {
+  const auto data = manifold_data(128, 10, 1);
+  VariationalAutoencoder vae(small_config(10));
+  const auto history = vae.fit(data, fast_options());
+  ASSERT_GE(history.train_loss.size(), 10u);
+  const double early = history.train_loss[2];
+  const double late = history.train_loss.back();
+  EXPECT_LT(late, early * 0.8);
+}
+
+TEST(VaeTest, ReconstructionErrorSeparatesInAndOutOfDistribution) {
+  const auto healthy = manifold_data(200, 12, 2);
+  VariationalAutoencoder vae(small_config(12));
+  auto options = fast_options();
+  options.epochs = 200;
+  vae.fit(healthy, options);
+
+  const auto held_out = manifold_data(50, 12, 3);
+  util::Rng rng(4);
+  tensor::Matrix outliers(50, 12);
+  for (std::size_t i = 0; i < outliers.size(); ++i) {
+    outliers.data()[i] = rng.gaussian(2.5, 1.0);  // far off-manifold
+  }
+
+  const double in_dist = tensor::mean(vae.reconstruction_error(held_out));
+  const double out_dist = tensor::mean(vae.reconstruction_error(outliers));
+  EXPECT_GT(out_dist, in_dist * 2.0);
+}
+
+TEST(VaeTest, EncodeMeanHasLatentShape) {
+  const auto data = manifold_data(20, 10, 5);
+  VariationalAutoencoder vae(small_config(10));
+  const auto z = vae.encode_mean(data);
+  EXPECT_EQ(z.rows(), 20u);
+  EXPECT_EQ(z.cols(), 3u);
+}
+
+TEST(VaeTest, KlRegularizationKeepsLatentNearPrior) {
+  const auto data = manifold_data(200, 10, 6);
+  auto config = small_config(10);
+  config.kl_weight = 1.0;
+  VariationalAutoencoder vae(config);
+  auto options = fast_options();
+  options.epochs = 150;
+  vae.fit(data, options);
+  const auto z = vae.encode_mean(data);
+  // Latent means should be O(1), not exploding: KL pulls them to N(0, I).
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    EXPECT_LT(std::abs(z.data()[i]), 6.0);
+  }
+}
+
+TEST(VaeTest, SampleGeneratesFiniteData) {
+  const auto data = manifold_data(100, 8, 7);
+  VariationalAutoencoder vae(small_config(8));
+  vae.fit(data, fast_options());
+  util::Rng rng(8);
+  const auto generated = vae.sample(10, rng);
+  EXPECT_EQ(generated.rows(), 10u);
+  EXPECT_EQ(generated.cols(), 8u);
+  for (std::size_t i = 0; i < generated.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(generated.data()[i]));
+  }
+}
+
+TEST(VaeTest, MaeReconLossVariantTrains) {
+  auto config = small_config(6);
+  config.recon_loss = ReconLoss::Mae;
+  const auto data = manifold_data(96, 6, 9);
+  VariationalAutoencoder vae(config);
+  const auto history = vae.fit(data, fast_options());
+  EXPECT_LT(history.train_loss.back(), history.train_loss.front());
+}
+
+TEST(VaeTest, EarlyStoppingCutsEpochs) {
+  const auto data = manifold_data(100, 6, 10);
+  VariationalAutoencoder vae(small_config(6));
+  auto options = fast_options();
+  options.epochs = 2000;
+  options.validation_split = 0.2;
+  options.early_stopping_patience = 10;
+  const auto history = vae.fit(data, options);
+  EXPECT_LT(history.epochs_run, 2000u);
+  EXPECT_TRUE(history.stopped_early);
+}
+
+TEST(VaeTest, SaveLoadReconstructsIdentically) {
+  const auto data = manifold_data(80, 7, 11);
+  VariationalAutoencoder vae(small_config(7));
+  vae.fit(data, fast_options());
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_vae_test.bin").string();
+  {
+    util::BinaryWriter writer(path);
+    vae.save(writer);
+  }
+  util::BinaryReader reader(path);
+  const VariationalAutoencoder loaded = VariationalAutoencoder::load(reader);
+  std::remove(path.c_str());
+
+  const auto a = vae.reconstruction_error(data);
+  const auto b = loaded.reconstruction_error(data);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  EXPECT_EQ(loaded.config().latent_dim, 3u);
+}
+
+}  // namespace
+}  // namespace prodigy::core

@@ -1,0 +1,69 @@
+// prodigy_predict — the Fig. 4 dashboard request as a command-line call.
+//
+//   prodigy_predict --store store.dsos --model model_dir --job 1234
+//                   [--trim 60] [--all] [--report]
+//
+// --report prints the markdown dashboard block instead of plain lines.
+//
+// Prints one verdict per compute node of the job (or of every job with
+// --all), exactly what the Grafana anomaly-detection dashboard displays.
+#include "deploy/dsos.hpp"
+#include "deploy/service.hpp"
+#include "tool_common.hpp"
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  using namespace prodigy;
+  const tools::Flags flags(argc, argv);
+  if (!flags.has("store") || !flags.has("model") ||
+      (!flags.has("job") && !flags.has("all"))) {
+    tools::usage("usage: prodigy_predict --store FILE --model DIR "
+                 "(--job ID | --all) [--trim S]\n");
+  }
+  util::set_log_level(util::LogLevel::Warn);
+
+  const auto store = deploy::DsosStore::load(flags.get("store", std::string()));
+  auto bundle = core::ModelBundle::load(flags.get("model", std::string()));
+  pipeline::PreprocessOptions preprocess;
+  preprocess.trim_seconds = flags.get("trim", 60.0);
+  const deploy::AnalyticsService service(store, std::move(bundle), preprocess,
+                                         /*explain=*/false);
+
+  std::vector<std::int64_t> jobs;
+  if (flags.has("all")) {
+    jobs = store.job_ids();
+  } else {
+    jobs.push_back(flags.get("job", 0LL));
+  }
+
+  const bool report = flags.has("report");
+  std::size_t anomalous_nodes = 0, total_nodes = 0;
+  for (const auto job_id : jobs) {
+    const auto analysis = service.analyze_job(job_id);
+    if (report) {
+      std::fputs(deploy::render_markdown_report(analysis).c_str(), stdout);
+      for (const auto& node : analysis.nodes) {
+        anomalous_nodes += node.anomalous ? 1 : 0;
+        ++total_nodes;
+      }
+      continue;
+    }
+    std::printf("job %lld (%s): %.2fs\n", static_cast<long long>(analysis.job_id),
+                analysis.app.c_str(), analysis.seconds);
+    for (const auto& node : analysis.nodes) {
+      std::printf("  component %lld: %-9s score %.6f (threshold %.6f)\n",
+                  static_cast<long long>(node.component_id),
+                  node.anomalous ? "ANOMALOUS" : "healthy", node.score,
+                  node.threshold);
+      anomalous_nodes += node.anomalous ? 1 : 0;
+      ++total_nodes;
+    }
+  }
+  if (jobs.size() > 1) {
+    std::printf("\n%zu / %zu nodes anomalous across %zu jobs\n", anomalous_nodes,
+                total_nodes, jobs.size());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared flag parsing for the command-line tools (same syntax as the bench
+// binaries: --name value / --name=value).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prodigy::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";
+      }
+    }
+  }
+
+  double get(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long long get(const std::string& name, long long fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool has(const std::string& name) const { return values_.contains(name); }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+[[noreturn]] inline void usage(const char* text) {
+  std::fputs(text, stderr);
+  std::exit(2);
+}
+
+}  // namespace prodigy::tools
