@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empire_production.dir/empire_production.cpp.o"
+  "CMakeFiles/empire_production.dir/empire_production.cpp.o.d"
+  "empire_production"
+  "empire_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empire_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for empire_production.
+# This may be replaced when dependencies are built.

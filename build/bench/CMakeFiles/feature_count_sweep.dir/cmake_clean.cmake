@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_count_sweep.dir/feature_count_sweep.cpp.o"
+  "CMakeFiles/feature_count_sweep.dir/feature_count_sweep.cpp.o.d"
+  "feature_count_sweep"
+  "feature_count_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_count_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_comte_explanations.dir/fig7_comte_explanations.cpp.o"
+  "CMakeFiles/fig7_comte_explanations.dir/fig7_comte_explanations.cpp.o.d"
+  "fig7_comte_explanations"
+  "fig7_comte_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_comte_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

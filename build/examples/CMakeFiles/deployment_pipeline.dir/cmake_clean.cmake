@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_pipeline.dir/deployment_pipeline.cpp.o"
+  "CMakeFiles/deployment_pipeline.dir/deployment_pipeline.cpp.o.d"
+  "deployment_pipeline"
+  "deployment_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

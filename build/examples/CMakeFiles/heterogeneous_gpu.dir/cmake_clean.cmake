@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_gpu.dir/heterogeneous_gpu.cpp.o"
+  "CMakeFiles/heterogeneous_gpu.dir/heterogeneous_gpu.cpp.o.d"
+  "heterogeneous_gpu"
+  "heterogeneous_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

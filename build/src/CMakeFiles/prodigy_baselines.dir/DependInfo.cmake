@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gmm.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/gmm.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/gmm.cpp.o.d"
+  "/root/repo/src/baselines/heuristics.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/heuristics.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/heuristics.cpp.o.d"
+  "/root/repo/src/baselines/isolation_forest.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/isolation_forest.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/isolation_forest.cpp.o.d"
+  "/root/repo/src/baselines/kmeans.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/kmeans.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/kmeans.cpp.o.d"
+  "/root/repo/src/baselines/lof.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/lof.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/lof.cpp.o.d"
+  "/root/repo/src/baselines/pca.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/pca.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/pca.cpp.o.d"
+  "/root/repo/src/baselines/usad.cpp" "src/CMakeFiles/prodigy_baselines.dir/baselines/usad.cpp.o" "gcc" "src/CMakeFiles/prodigy_baselines.dir/baselines/usad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prodigy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_hpas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

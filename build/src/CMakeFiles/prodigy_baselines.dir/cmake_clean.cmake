@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_baselines.dir/baselines/gmm.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/gmm.cpp.o.d"
+  "CMakeFiles/prodigy_baselines.dir/baselines/heuristics.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/heuristics.cpp.o.d"
+  "CMakeFiles/prodigy_baselines.dir/baselines/isolation_forest.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/isolation_forest.cpp.o.d"
+  "CMakeFiles/prodigy_baselines.dir/baselines/kmeans.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/kmeans.cpp.o.d"
+  "CMakeFiles/prodigy_baselines.dir/baselines/lof.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/lof.cpp.o.d"
+  "CMakeFiles/prodigy_baselines.dir/baselines/pca.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/pca.cpp.o.d"
+  "CMakeFiles/prodigy_baselines.dir/baselines/usad.cpp.o"
+  "CMakeFiles/prodigy_baselines.dir/baselines/usad.cpp.o.d"
+  "libprodigy_baselines.a"
+  "libprodigy_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

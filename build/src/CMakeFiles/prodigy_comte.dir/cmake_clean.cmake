@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_comte.dir/comte/comte.cpp.o"
+  "CMakeFiles/prodigy_comte.dir/comte/comte.cpp.o.d"
+  "libprodigy_comte.a"
+  "libprodigy_comte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_comte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

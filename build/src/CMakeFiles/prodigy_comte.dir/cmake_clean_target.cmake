@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprodigy_comte.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_core.dir/core/model_trainer.cpp.o"
+  "CMakeFiles/prodigy_core.dir/core/model_trainer.cpp.o.d"
+  "CMakeFiles/prodigy_core.dir/core/prodigy_detector.cpp.o"
+  "CMakeFiles/prodigy_core.dir/core/prodigy_detector.cpp.o.d"
+  "CMakeFiles/prodigy_core.dir/core/vae.cpp.o"
+  "CMakeFiles/prodigy_core.dir/core/vae.cpp.o.d"
+  "libprodigy_core.a"
+  "libprodigy_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_deploy.dir/deploy/dsos.cpp.o"
+  "CMakeFiles/prodigy_deploy.dir/deploy/dsos.cpp.o.d"
+  "CMakeFiles/prodigy_deploy.dir/deploy/service.cpp.o"
+  "CMakeFiles/prodigy_deploy.dir/deploy/service.cpp.o.d"
+  "libprodigy_deploy.a"
+  "libprodigy_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

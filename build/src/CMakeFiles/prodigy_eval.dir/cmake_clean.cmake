@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_eval.dir/eval/crossval.cpp.o"
+  "CMakeFiles/prodigy_eval.dir/eval/crossval.cpp.o.d"
+  "CMakeFiles/prodigy_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/prodigy_eval.dir/eval/metrics.cpp.o.d"
+  "libprodigy_eval.a"
+  "libprodigy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

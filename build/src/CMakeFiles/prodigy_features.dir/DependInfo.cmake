@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/chi_square.cpp" "src/CMakeFiles/prodigy_features.dir/features/chi_square.cpp.o" "gcc" "src/CMakeFiles/prodigy_features.dir/features/chi_square.cpp.o.d"
+  "/root/repo/src/features/extractors.cpp" "src/CMakeFiles/prodigy_features.dir/features/extractors.cpp.o" "gcc" "src/CMakeFiles/prodigy_features.dir/features/extractors.cpp.o.d"
+  "/root/repo/src/features/feature_matrix.cpp" "src/CMakeFiles/prodigy_features.dir/features/feature_matrix.cpp.o" "gcc" "src/CMakeFiles/prodigy_features.dir/features/feature_matrix.cpp.o.d"
+  "/root/repo/src/features/fft.cpp" "src/CMakeFiles/prodigy_features.dir/features/fft.cpp.o" "gcc" "src/CMakeFiles/prodigy_features.dir/features/fft.cpp.o.d"
+  "/root/repo/src/features/registry.cpp" "src/CMakeFiles/prodigy_features.dir/features/registry.cpp.o" "gcc" "src/CMakeFiles/prodigy_features.dir/features/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prodigy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_hpas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

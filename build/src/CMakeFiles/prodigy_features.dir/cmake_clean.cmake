@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_features.dir/features/chi_square.cpp.o"
+  "CMakeFiles/prodigy_features.dir/features/chi_square.cpp.o.d"
+  "CMakeFiles/prodigy_features.dir/features/extractors.cpp.o"
+  "CMakeFiles/prodigy_features.dir/features/extractors.cpp.o.d"
+  "CMakeFiles/prodigy_features.dir/features/feature_matrix.cpp.o"
+  "CMakeFiles/prodigy_features.dir/features/feature_matrix.cpp.o.d"
+  "CMakeFiles/prodigy_features.dir/features/fft.cpp.o"
+  "CMakeFiles/prodigy_features.dir/features/fft.cpp.o.d"
+  "CMakeFiles/prodigy_features.dir/features/registry.cpp.o"
+  "CMakeFiles/prodigy_features.dir/features/registry.cpp.o.d"
+  "libprodigy_features.a"
+  "libprodigy_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

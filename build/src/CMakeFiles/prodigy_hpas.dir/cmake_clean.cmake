@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_hpas.dir/hpas/anomalies.cpp.o"
+  "CMakeFiles/prodigy_hpas.dir/hpas/anomalies.cpp.o.d"
+  "libprodigy_hpas.a"
+  "libprodigy_hpas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_hpas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/prodigy_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/prodigy_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/prodigy_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/prodigy_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/prodigy_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/prodigy_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/prodigy_nn.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/prodigy_nn.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/prodigy_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/prodigy_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/prodigy_nn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/prodigy_nn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prodigy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/prodigy_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/prodigy_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/prodigy_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/prodigy_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/prodigy_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/prodigy_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/prodigy_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/prodigy_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/prodigy_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/prodigy_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/prodigy_nn.dir/nn/trainer.cpp.o.d"
+  "libprodigy_nn.a"
+  "libprodigy_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prodigy_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/data_generator.cpp" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/data_generator.cpp.o" "gcc" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/data_generator.cpp.o.d"
+  "/root/repo/src/pipeline/data_pipeline.cpp" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/data_pipeline.cpp.o" "gcc" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/data_pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/preprocess.cpp" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/preprocess.cpp.o" "gcc" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/preprocess.cpp.o.d"
+  "/root/repo/src/pipeline/scaler.cpp" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/scaler.cpp.o" "gcc" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/scaler.cpp.o.d"
+  "/root/repo/src/pipeline/splits.cpp" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/splits.cpp.o" "gcc" "src/CMakeFiles/prodigy_pipeline.dir/pipeline/splits.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prodigy_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_hpas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

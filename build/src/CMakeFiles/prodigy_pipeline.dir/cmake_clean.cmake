@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/data_generator.cpp.o"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/data_generator.cpp.o.d"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/data_pipeline.cpp.o"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/data_pipeline.cpp.o.d"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/preprocess.cpp.o"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/preprocess.cpp.o.d"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/scaler.cpp.o"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/scaler.cpp.o.d"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/splits.cpp.o"
+  "CMakeFiles/prodigy_pipeline.dir/pipeline/splits.cpp.o.d"
+  "libprodigy_pipeline.a"
+  "libprodigy_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

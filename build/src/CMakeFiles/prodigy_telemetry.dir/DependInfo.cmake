@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/app_profile.cpp" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/app_profile.cpp.o" "gcc" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/app_profile.cpp.o.d"
+  "/root/repo/src/telemetry/dataset_builder.cpp" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/dataset_builder.cpp.o" "gcc" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/dataset_builder.cpp.o.d"
+  "/root/repo/src/telemetry/generator.cpp" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/generator.cpp.o" "gcc" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/generator.cpp.o.d"
+  "/root/repo/src/telemetry/gpu.cpp" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/gpu.cpp.o" "gcc" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/gpu.cpp.o.d"
+  "/root/repo/src/telemetry/metrics.cpp" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/metrics.cpp.o" "gcc" "src/CMakeFiles/prodigy_telemetry.dir/telemetry/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prodigy_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_hpas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/app_profile.cpp.o"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/app_profile.cpp.o.d"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/dataset_builder.cpp.o"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/dataset_builder.cpp.o.d"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/generator.cpp.o"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/generator.cpp.o.d"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/gpu.cpp.o"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/gpu.cpp.o.d"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/metrics.cpp.o"
+  "CMakeFiles/prodigy_telemetry.dir/telemetry/metrics.cpp.o.d"
+  "libprodigy_telemetry.a"
+  "libprodigy_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_tensor.dir/tensor/matrix.cpp.o"
+  "CMakeFiles/prodigy_tensor.dir/tensor/matrix.cpp.o.d"
+  "CMakeFiles/prodigy_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/prodigy_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/prodigy_tensor.dir/tensor/stats.cpp.o"
+  "CMakeFiles/prodigy_tensor.dir/tensor/stats.cpp.o.d"
+  "libprodigy_tensor.a"
+  "libprodigy_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

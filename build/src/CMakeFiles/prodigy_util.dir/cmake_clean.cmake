@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_util.dir/util/csv.cpp.o"
+  "CMakeFiles/prodigy_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/prodigy_util.dir/util/logging.cpp.o"
+  "CMakeFiles/prodigy_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/prodigy_util.dir/util/serialize.cpp.o"
+  "CMakeFiles/prodigy_util.dir/util/serialize.cpp.o.d"
+  "CMakeFiles/prodigy_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/prodigy_util.dir/util/thread_pool.cpp.o.d"
+  "libprodigy_util.a"
+  "libprodigy_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

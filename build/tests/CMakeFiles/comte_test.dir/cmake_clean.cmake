@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comte_test.dir/comte_test.cpp.o"
+  "CMakeFiles/comte_test.dir/comte_test.cpp.o.d"
+  "comte_test"
+  "comte_test.pdb"
+  "comte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpas_test.dir/hpas_test.cpp.o"
+  "CMakeFiles/hpas_test.dir/hpas_test.cpp.o.d"
+  "hpas_test"
+  "hpas_test.pdb"
+  "hpas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model_trainer_test.cpp" "tests/CMakeFiles/model_trainer_test.dir/model_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/model_trainer_test.dir/model_trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prodigy_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_comte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_hpas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/prodigy_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

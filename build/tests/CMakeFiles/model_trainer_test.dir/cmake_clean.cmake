@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_trainer_test.dir/model_trainer_test.cpp.o"
+  "CMakeFiles/model_trainer_test.dir/model_trainer_test.cpp.o.d"
+  "model_trainer_test"
+  "model_trainer_test.pdb"
+  "model_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

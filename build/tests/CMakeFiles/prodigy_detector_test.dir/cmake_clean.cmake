@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_detector_test.dir/prodigy_detector_test.cpp.o"
+  "CMakeFiles/prodigy_detector_test.dir/prodigy_detector_test.cpp.o.d"
+  "prodigy_detector_test"
+  "prodigy_detector_test.pdb"
+  "prodigy_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialize_property_test.dir/serialize_property_test.cpp.o"
+  "CMakeFiles/serialize_property_test.dir/serialize_property_test.cpp.o.d"
+  "serialize_property_test"
+  "serialize_property_test.pdb"
+  "serialize_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialize_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

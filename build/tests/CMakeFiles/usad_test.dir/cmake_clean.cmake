@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usad_test.dir/usad_test.cpp.o"
+  "CMakeFiles/usad_test.dir/usad_test.cpp.o.d"
+  "usad_test"
+  "usad_test.pdb"
+  "usad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

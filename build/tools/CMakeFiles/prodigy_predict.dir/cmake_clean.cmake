@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_predict.dir/prodigy_predict.cpp.o"
+  "CMakeFiles/prodigy_predict.dir/prodigy_predict.cpp.o.d"
+  "prodigy_predict"
+  "prodigy_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_simulate.dir/prodigy_simulate.cpp.o"
+  "CMakeFiles/prodigy_simulate.dir/prodigy_simulate.cpp.o.d"
+  "prodigy_simulate"
+  "prodigy_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

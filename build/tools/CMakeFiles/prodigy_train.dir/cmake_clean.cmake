@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prodigy_train.dir/prodigy_train.cpp.o"
+  "CMakeFiles/prodigy_train.dir/prodigy_train.cpp.o.d"
+  "prodigy_train"
+  "prodigy_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prodigy_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
