@@ -5,12 +5,19 @@
 // the same batch-prediction path (scaler + VAE reconstruction + threshold)
 // at several batch sizes, plus the per-stage costs that dominate the
 // deployment's request latency (feature extraction, preprocessing).
+// Set PRODIGY_METRICS_OUT=<path> to dump the process metrics registry
+// (stage histograms, thread-pool counters) after the benchmarks finish --
+// JSON when the path ends in .json, Prometheus text otherwise.
 #include "bench_common.hpp"
 
 #include "pipeline/preprocess.hpp"
 #include "telemetry/generator.hpp"
+#include "util/metrics.hpp"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
 
 namespace {
 
@@ -102,4 +109,14 @@ BENCHMARK(BM_ExtractNodeFeatures)->Arg(300)->Arg(1200)->Unit(benchmark::kMillise
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("PRODIGY_METRICS_OUT")) {
+    prodigy::util::MetricsRegistry::global().write_file(path);
+    std::fprintf(stderr, "metrics -> %s\n", path);
+  }
+  return 0;
+}

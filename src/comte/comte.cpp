@@ -2,6 +2,7 @@
 
 #include "tensor/ops.hpp"
 #include "tensor/stats.hpp"
+#include "util/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -140,6 +141,11 @@ Explanation ComteExplainer::finalize(std::span<const double> x,
                                      std::size_t evaluations) const {
   Explanation explanation;
   explanation.success = final_margin < logit(config_.decision_probability);
+  auto& registry = util::MetricsRegistry::global();
+  registry.counter("prodigy_comte_explanations_total").increment();
+  if (explanation.success) registry.counter("prodigy_comte_flips_total").increment();
+  registry.histogram("prodigy_comte_evaluations").observe(
+      static_cast<double>(evaluations));
   explanation.distractor_row = distractor;
   explanation.original_probability = sigmoid(original_margin);
   explanation.final_probability = sigmoid(final_margin);
@@ -158,6 +164,7 @@ Explanation ComteExplainer::finalize(std::span<const double> x,
 }
 
 Explanation ComteExplainer::explain_brute_force(std::span<const double> x) const {
+  util::StageTimer stage("comte.explain_brute_force");
   const double original_margin = model_.anomaly_margin(x);
   const double margin_target = logit(config_.decision_probability);
   std::size_t evaluations = 1;
@@ -227,6 +234,7 @@ Explanation ComteExplainer::explain_brute_force(std::span<const double> x) const
 }
 
 Explanation ComteExplainer::explain_optimized(std::span<const double> x) const {
+  util::StageTimer stage("comte.explain_optimized");
   const double original_margin = model_.anomaly_margin(x);
   const double margin_target = logit(config_.decision_probability);
   std::size_t evaluations = 1;

@@ -1,5 +1,7 @@
 #include "core/model_trainer.hpp"
 
+#include "util/metrics.hpp"
+
 #include <filesystem>
 #include <stdexcept>
 
@@ -35,6 +37,7 @@ DeploymentMetadata DeploymentMetadata::load(util::BinaryReader& reader) {
 }
 
 tensor::Matrix ModelBundle::transform_full(const tensor::Matrix& full_features) const {
+  util::StageTimer stage("core.model_trainer.transform");
   const tensor::Matrix selected = full_features.select_columns(metadata.selected_columns);
   return scaler.transform(selected);
 }

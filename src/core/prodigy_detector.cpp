@@ -2,6 +2,7 @@
 
 #include "eval/metrics.hpp"
 #include "tensor/stats.hpp"
+#include "util/metrics.hpp"
 
 #include <stdexcept>
 
@@ -26,6 +27,7 @@ void ProdigyDetector::fit(const tensor::Matrix& X, const std::vector<int>& label
 }
 
 void ProdigyDetector::fit_healthy(const tensor::Matrix& X) {
+  util::StageTimer stage("core.prodigy_detector.fit");
   if (X.rows() == 0) {
     throw std::invalid_argument("ProdigyDetector::fit_healthy: empty training set");
   }
@@ -90,6 +92,10 @@ ProdigyDetector::UnsupervisedFitReport ProdigyDetector::fit_unsupervised(
 
 std::vector<double> ProdigyDetector::score(const tensor::Matrix& X) const {
   if (!model_) throw std::logic_error("ProdigyDetector::score before fit");
+  util::StageTimer stage("core.prodigy_detector.score");
+  util::MetricsRegistry::global()
+      .counter("prodigy_detector_samples_scored_total")
+      .increment(X.rows());
   return model_->reconstruction_error(X);
 }
 

@@ -3,6 +3,7 @@
 #include "nn/optimizer.hpp"
 #include "tensor/ops.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -106,6 +107,7 @@ VariationalAutoencoder::StepResult VariationalAutoencoder::forward_backward(
 
 nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
                                              const nn::TrainOptions& options) {
+  util::StageTimer fit_stage("core.vae.fit");
   if (X.cols() != config_.input_dim) {
     throw std::invalid_argument("VariationalAutoencoder::fit: input width " +
                                 std::to_string(X.cols()) + " != configured " +
@@ -164,12 +166,19 @@ nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
     epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
     history.train_loss.push_back(epoch_loss);
     ++history.epochs_run;
+    util::MetricsRegistry::global().counter("prodigy_vae_epochs_total").increment();
 
     if (val_count > 0) {
       const double val_loss = evaluate_loss(validation, eval_rng);
       history.validation_loss.push_back(val_loss);
       if (stopper.update(val_loss)) {
         history.stopped_early = true;
+        util::MetricsRegistry::global()
+            .counter("prodigy_vae_early_stops_total")
+            .increment();
+        util::MetricsRegistry::global()
+            .gauge("prodigy_vae_last_early_stop_epoch")
+            .set(static_cast<double>(epoch));
         break;
       }
     }

@@ -1,5 +1,7 @@
 #include "deploy/dsos.hpp"
 
+#include "util/metrics.hpp"
+
 #include <stdexcept>
 
 namespace prodigy::deploy {
@@ -65,6 +67,7 @@ bool DsosStore::has_job(std::int64_t job_id) const {
 }
 
 telemetry::JobTelemetry DsosStore::query_job(std::int64_t job_id) const {
+  util::StageTimer stage("deploy.dsos.query_job");
   std::lock_guard lock(mutex_);
   const auto app_it = job_apps_.find(job_id);
   if (app_it == job_apps_.end()) {

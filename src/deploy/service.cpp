@@ -1,8 +1,10 @@
 #include "deploy/service.hpp"
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace prodigy::deploy {
@@ -30,21 +32,31 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
   util::Timer timer;
   JobAnalysis analysis;
   analysis.job_id = job_id;
+  util::MetricsRegistry::global().counter("prodigy_deploy_requests_total").increment();
 
+  double query_s = 0.0, features_s = 0.0, score_s = 0.0, verdicts_s = 0.0;
+
+  util::StageTimer query_timer("deploy.request.query", &query_s);
   const telemetry::JobTelemetry job = store_.query_job(job_id);
+  query_timer.stop();
   analysis.app = job.app;
 
-  // DataGenerator: preprocess; DataPipeline: features.
-  const pipeline::DataGenerator generator(preprocess_);
+  // DataGenerator/DataPipeline: preprocess + feature extraction.
+  util::StageTimer features_timer("deploy.request.features", &features_s);
   std::vector<telemetry::JobTelemetry> jobs{job};
   const features::FeatureDataset dataset =
       pipeline::DataPipeline::build_from_jobs(jobs, preprocess_);
+  features_timer.stop();
 
   // AnomalyDetector: column selection + scaler + model.
+  util::StageTimer score_timer("deploy.request.score", &score_s);
   const tensor::Matrix model_input = bundle_.transform_full(dataset.X);
   const auto scores = bundle_.detector.score(model_input);
   const double threshold = bundle_.detector.threshold();
+  score_timer.stop();
 
+  // Verdict assembly, including CoMTE explanations for anomalous nodes.
+  util::StageTimer verdicts_timer("deploy.request.verdicts", &verdicts_s);
   std::optional<comte::ThresholdModelAdapter> adapter;
   std::optional<comte::ComteExplainer> explainer;
   if (explain_ && explain_train_.rows() > 0) {
@@ -60,11 +72,22 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
     verdict.score = scores[i];
     verdict.threshold = threshold;
     verdict.anomalous = scores[i] > threshold;
+    if (verdict.anomalous) {
+      util::MetricsRegistry::global()
+          .counter("prodigy_deploy_anomalous_nodes_total")
+          .increment();
+    }
     if (verdict.anomalous && explainer) {
       verdict.explanation = explainer->explain_optimized(model_input.row(i));
     }
     analysis.nodes.push_back(std::move(verdict));
   }
+  verdicts_timer.stop();
+
+  analysis.stages = {{"query", query_s},
+                     {"features", features_s},
+                     {"score", score_s},
+                     {"verdicts", verdicts_s}};
   analysis.seconds = timer.elapsed_seconds();
   return analysis;
 }
@@ -97,6 +120,19 @@ std::string render_markdown_report(const JobAnalysis& analysis) {
            std::to_string(node.score) + " | " + std::to_string(node.threshold) +
            " |\n";
   }
+  if (!analysis.stages.empty()) {
+    out += "\n### Stage latency breakdown\n\n";
+    out += "| stage | seconds | share |\n";
+    out += "|---|---|---|\n";
+    for (const auto& stage : analysis.stages) {
+      const double share =
+          analysis.seconds > 0.0 ? 100.0 * stage.seconds / analysis.seconds : 0.0;
+      char share_text[32];
+      std::snprintf(share_text, sizeof(share_text), "%.1f%%", share);
+      out += "| " + stage.stage + " | " + std::to_string(stage.seconds) + " | " +
+             share_text + " |\n";
+    }
+  }
   for (const auto& node : analysis.nodes) {
     if (!node.explanation) continue;
     out += "\n### Why component " + std::to_string(node.component_id) +
@@ -127,11 +163,14 @@ AnalyticsService AnalyticsService::train_from_store(
   jobs.reserve(train_jobs.size());
   for (const auto job_id : train_jobs) jobs.push_back(store.query_job(job_id));
 
+  util::StageTimer features_timer("deploy.train.features");
   const features::FeatureDataset dataset =
       pipeline::DataPipeline::build_from_jobs(jobs, options.preprocess);
+  features_timer.stop();
 
   // Offline feature selection (Fig. 1, stage 1): chi-square needs both
   // classes; a purely-healthy store falls back to variance ranking.
+  util::StageTimer select_timer("deploy.train.select");
   features::SelectionResult selection;
   const std::size_t anomalous = dataset.anomalous_count();
   if (anomalous > 0 && anomalous < dataset.size()) {
@@ -145,10 +184,13 @@ AnalyticsService AnalyticsService::train_from_store(
     selection = features::select_features_variance(dataset, options.top_k_features);
     util::log_info("train_from_store: variance selection (single-class store)");
   }
+  select_timer.stop();
 
+  util::StageTimer fit_timer("deploy.train.fit");
   const core::ModelTrainer trainer(options.model);
   core::ModelBundle bundle =
       trainer.train(dataset, selection.selected, options.system_name);
+  fit_timer.stop();
 
   AnalyticsService service(store, std::move(bundle), options.preprocess, explain,
                            options.explanations);

@@ -23,11 +23,20 @@ struct NodeVerdict {
   std::optional<comte::Explanation> explanation;
 };
 
+/// One entry of the per-request latency breakdown: how long one contiguous
+/// stage of analyze_job took.  The stages cover the whole request, so their
+/// seconds sum to ~JobAnalysis::seconds.
+struct StageLatency {
+  std::string stage;
+  double seconds = 0.0;
+};
+
 struct JobAnalysis {
   std::int64_t job_id = 0;
   std::string app;
   std::vector<NodeVerdict> nodes;
   double seconds = 0.0;  // end-to-end request latency
+  std::vector<StageLatency> stages;  // query / features / score / verdicts
 };
 
 struct TrainFromStoreOptions {

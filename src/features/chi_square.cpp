@@ -7,6 +7,11 @@
 
 namespace prodigy::features {
 
+namespace {
+// Values in [-1e-9, 0) are treated as floating-point noise around zero.
+constexpr double kNegativeNoiseEpsilon = -1e-9;
+}  // namespace
+
 std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>& y) {
   if (X.rows() != y.size()) {
     throw std::invalid_argument("chi2_scores: rows != labels");
@@ -32,11 +37,17 @@ std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>&
     auto& target = y[r] != 0 ? observed_pos : observed_neg;
     const double* row = X.data() + r * X.cols();
     for (std::size_t c = 0; c < X.cols(); ++c) {
-      if (row[c] < 0.0) {
-        throw std::invalid_argument("chi2_scores: negative feature value; "
-                                    "min-max scale features first");
+      double value = row[c];
+      if (value < 0.0) {
+        // Min-max-scaled features can land a hair below zero from rounding;
+        // clamp that noise but keep rejecting genuinely negative data.
+        if (value < kNegativeNoiseEpsilon) {
+          throw std::invalid_argument("chi2_scores: negative feature value; "
+                                      "min-max scale features first");
+        }
+        value = 0.0;
       }
-      target[c] += row[c];
+      target[c] += value;
     }
   }
 

@@ -1,6 +1,7 @@
 #include "features/feature_matrix.hpp"
 
 #include "tensor/ops.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 #include <stdexcept>
@@ -58,6 +59,7 @@ std::vector<std::string> feature_column_names(
 }
 
 std::vector<double> extract_node_features(const tensor::Matrix& values) {
+  util::StageTimer stage("features.extract");
   const std::size_t metrics = values.cols();
   const std::size_t per_metric = features_per_metric();
   std::vector<double> features(metrics * per_metric, 0.0);

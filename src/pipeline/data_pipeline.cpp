@@ -2,6 +2,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 #include <stdexcept>
 
@@ -51,6 +52,9 @@ features::FeatureDataset DataPipeline::build_from_jobs(
 
   std::size_t total_nodes = 0;
   for (const auto& job : jobs) total_nodes += job.nodes.size();
+  util::MetricsRegistry::global()
+      .counter("prodigy_pipeline_nodes_processed_total")
+      .increment(total_nodes);
   dataset.X = tensor::Matrix(total_nodes, dataset.feature_names.size());
   dataset.labels.reserve(total_nodes);
   dataset.meta.reserve(total_nodes);

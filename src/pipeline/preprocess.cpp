@@ -1,6 +1,7 @@
 #include "pipeline/preprocess.hpp"
 
 #include "telemetry/metrics.hpp"
+#include "util/metrics.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -64,6 +65,7 @@ tensor::Matrix preprocess_node(const tensor::Matrix& raw,
 tensor::Matrix preprocess_node(const tensor::Matrix& raw,
                                std::span<const telemetry::MetricKind> kinds,
                                const PreprocessOptions& options) {
+  util::StageTimer stage("pipeline.preprocess");
   const std::size_t timestamps = raw.rows();
   const std::size_t metrics = raw.cols();
 

@@ -1,8 +1,10 @@
 #include "pipeline/scaler.hpp"
 
-#include "tensor/stats.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace prodigy::pipeline {
@@ -21,19 +23,49 @@ void Scaler::fit(const tensor::Matrix& X) {
   if (X.rows() == 0) throw std::invalid_argument("Scaler::fit: empty matrix");
   offset_.assign(X.cols(), 0.0);
   scale_.assign(X.cols(), 1.0);
+  // Fit statistics over finite entries only: one NaN sensor reading must not
+  // poison a column's offset/scale (and with them every downstream score).
+  std::size_t nonfinite_total = 0;
   for (std::size_t c = 0; c < X.cols(); ++c) {
     const auto column = X.column(c);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    std::size_t finite = 0;
+    for (const double v : column) {
+      if (!std::isfinite(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+      ++finite;
+    }
+    nonfinite_total += column.size() - finite;
+    if (finite == 0) {
+      throw std::invalid_argument(
+          "Scaler::fit: column " + std::to_string(c) +
+          " has no finite values; drop it or fix the upstream telemetry");
+    }
     if (kind_ == ScalerKind::MinMax) {
-      const double lo = tensor::min_value(column);
-      const double hi = tensor::max_value(column);
       offset_[c] = lo;
       scale_[c] = hi > lo ? hi - lo : 1.0;
     } else {
-      const double mean = tensor::mean(column);
-      const double sd = tensor::stddev(column);
+      const double mean = sum / static_cast<double>(finite);
+      double ss = 0.0;
+      for (const double v : column) {
+        if (!std::isfinite(v)) continue;
+        ss += (v - mean) * (v - mean);
+      }
+      const double sd = std::sqrt(ss / static_cast<double>(finite));
       offset_[c] = mean;
       scale_[c] = sd > 0.0 ? sd : 1.0;
     }
+  }
+  if (nonfinite_total > 0) {
+    util::MetricsRegistry::global()
+        .counter("prodigy_scaler_nonfinite_skipped_total")
+        .increment(nonfinite_total);
+    util::log_warn("Scaler::fit: skipped ", nonfinite_total,
+                   " non-finite entries while fitting ", X.cols(), " columns");
   }
 }
 

@@ -1,12 +1,27 @@
 #include "util/thread_pool.hpp"
 
+#include "util/metrics.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace prodigy::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+namespace {
+// Which pool (if any) the current thread belongs to.  Lets parallel_for
+// detect re-entry from a worker of the same pool and run inline instead of
+// deadlocking on futures stuck behind blocked workers.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : tasks_submitted_(&MetricsRegistry::global().counter(
+          "prodigy_threadpool_tasks_submitted_total")),
+      tasks_completed_(&MetricsRegistry::global().counter(
+          "prodigy_threadpool_tasks_completed_total")),
+      queue_high_water_(&MetricsRegistry::global().gauge(
+          "prodigy_threadpool_queue_depth_high_water")) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -26,6 +41,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -36,7 +52,17 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();
+    tasks_completed_->increment();
   }
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return tl_worker_pool == this;
+}
+
+void ThreadPool::note_submit_locked(std::size_t queue_depth) noexcept {
+  tasks_submitted_->increment();
+  queue_high_water_->update_max(static_cast<double>(queue_depth));
 }
 
 ThreadPool& ThreadPool::global() {
@@ -49,7 +75,10 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t count = end - begin;
   const std::size_t workers = pool.size();
-  if (workers <= 1 || count <= grain) {
+  // Re-entry from one of this pool's own workers must run inline: blocking
+  // on chunk futures here would wedge the process once every worker sits in
+  // the same wait while the chunks queue behind them.
+  if (workers <= 1 || count <= grain || pool.on_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }

@@ -15,6 +15,9 @@
 
 namespace prodigy::util {
 
+class Counter;
+class Gauge;
+
 class ThreadPool {
  public:
   /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
@@ -26,7 +29,15 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.  Nested
+  /// parallel constructs use this to execute inline instead of blocking on
+  /// futures that can only be drained by already-blocked workers.
+  bool on_worker_thread() const noexcept;
+
   /// Enqueue an arbitrary task; the future reports completion/exceptions.
+  /// WARNING: blocking on the future from inside a pool task can deadlock
+  /// once every worker is blocked; prefer parallel_for, which runs nested
+  /// ranges inline.
   template <typename Fn>
   std::future<void> submit(Fn&& fn) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
@@ -34,6 +45,7 @@ class ThreadPool {
     {
       std::lock_guard lock(mutex_);
       queue_.emplace([task] { (*task)(); });
+      note_submit_locked(queue_.size());
     }
     cv_.notify_one();
     return result;
@@ -44,17 +56,26 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void note_submit_locked(std::size_t queue_depth) noexcept;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  // Registry-owned instrumentation; bound in the constructor so the global
+  // registry outlives every pool (and the hot path is one relaxed atomic).
+  Counter* tasks_submitted_ = nullptr;
+  Counter* tasks_completed_ = nullptr;
+  Gauge* queue_high_water_ = nullptr;
 };
 
 /// Runs body(i) for i in [begin, end) across the pool in contiguous chunks.
 /// Blocks until all iterations finish; rethrows the first task exception.
-/// Executes inline when the range is small or the pool has one thread.
+/// Executes inline when the range is small, the pool has one thread, or the
+/// caller is already one of the pool's workers (nested parallel_for), so
+/// nesting never deadlocks.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);

@@ -39,6 +39,25 @@ TEST(Chi2Test, RejectsNegativeFeatures) {
   EXPECT_THROW(chi2_scores(X, {0, 1}), std::invalid_argument);
 }
 
+TEST(Chi2Test, ClampsFloatingPointNoiseBelowZero) {
+  // Min-max scaling can leave values a hair under 0; they must be treated
+  // as exact zeros, not rejected.
+  tensor::Matrix noisy{{-1e-12, 0.5}, {0.2, 0.3}, {-5e-10, 0.4}, {0.9, 0.1}};
+  tensor::Matrix exact{{0.0, 0.5}, {0.2, 0.3}, {0.0, 0.4}, {0.9, 0.1}};
+  const std::vector<int> y{0, 0, 1, 1};
+  const auto noisy_scores = chi2_scores(noisy, y);
+  const auto exact_scores = chi2_scores(exact, y);
+  ASSERT_EQ(noisy_scores.size(), exact_scores.size());
+  for (std::size_t c = 0; c < noisy_scores.size(); ++c) {
+    EXPECT_NEAR(noisy_scores[c], exact_scores[c], 1e-9);
+  }
+}
+
+TEST(Chi2Test, GenuinelyNegativeStillRejected) {
+  tensor::Matrix X{{-1e-6, 0.5}, {0.2, 0.3}};
+  EXPECT_THROW(chi2_scores(X, {0, 1}), std::invalid_argument);
+}
+
 TEST(Chi2Test, RejectsSizeMismatch) {
   tensor::Matrix X(4, 2, 1.0);
   EXPECT_THROW(chi2_scores(X, {0, 1}), std::invalid_argument);

@@ -160,6 +160,32 @@ TEST_F(AnalyticsServiceTest, EndToEndTrainingAndJobAnalysis) {
   }
 }
 
+TEST_F(AnalyticsServiceTest, StageBreakdownCoversRequestLatency) {
+  const AnalyticsService service = AnalyticsService::train_from_store(
+      store_, train_jobs_, fast_options(), /*explain=*/false);
+  const JobAnalysis analysis = service.analyze_job(50);
+
+  ASSERT_EQ(analysis.stages.size(), 4u);
+  EXPECT_EQ(analysis.stages[0].stage, "query");
+  EXPECT_EQ(analysis.stages[1].stage, "features");
+  EXPECT_EQ(analysis.stages[2].stage, "score");
+  EXPECT_EQ(analysis.stages[3].stage, "verdicts");
+
+  double stage_sum = 0.0;
+  for (const auto& stage : analysis.stages) {
+    EXPECT_GE(stage.seconds, 0.0);
+    stage_sum += stage.seconds;
+  }
+  // The stages cover contiguous regions of analyze_job, so they must account
+  // for (almost) the whole end-to-end latency.
+  EXPECT_LE(stage_sum, analysis.seconds);
+  EXPECT_NEAR(stage_sum, analysis.seconds, 0.10 * analysis.seconds + 1e-3);
+
+  const std::string report = render_markdown_report(analysis);
+  EXPECT_NE(report.find("### Stage latency breakdown"), std::string::npos);
+  EXPECT_NE(report.find("| features |"), std::string::npos);
+}
+
 TEST_F(AnalyticsServiceTest, NodeLevelAnalysisMatchesJobLevel) {
   const AnalyticsService service = AnalyticsService::train_from_store(
       store_, train_jobs_, fast_options(), /*explain=*/false);

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 namespace prodigy::pipeline {
 namespace {
@@ -90,6 +91,48 @@ TEST(ScalerTest, UsageErrors) {
   EXPECT_THROW(scaler.fit(tensor::Matrix{}), std::invalid_argument);
   scaler.fit(X);
   EXPECT_THROW(scaler.transform(tensor::Matrix(2, 3, 1.0)), std::invalid_argument);
+}
+
+TEST(ScalerTest, MinMaxFitSkipsNonFiniteEntries) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  tensor::Matrix X{{0.0, nan}, {nan, 2.0}, {10.0, 4.0}, {5.0, inf}};
+  Scaler scaler(ScalerKind::MinMax);
+  scaler.fit(X);
+  // Column 0: finite values {0, 10, 5}; column 1: finite values {2, 4}.
+  const tensor::Matrix probe{{0.0, 2.0}, {10.0, 4.0}};
+  const auto scaled = scaler.transform(probe);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 1.0);
+}
+
+TEST(ScalerTest, StandardFitSkipsNonFiniteEntries) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  tensor::Matrix X{{1.0}, {nan}, {3.0}, {nan}};
+  Scaler scaler(ScalerKind::Standard);
+  scaler.fit(X);
+  // Finite values {1, 3}: mean 2, population stddev 1.
+  const tensor::Matrix probe{{2.0}, {3.0}};
+  const auto scaled = scaler.transform(probe);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 1.0);
+}
+
+TEST(ScalerTest, AllNanColumnThrowsDescriptiveError) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  tensor::Matrix X{{1.0, nan}, {2.0, nan}};
+  for (const auto kind : {ScalerKind::MinMax, ScalerKind::Standard}) {
+    Scaler scaler(kind);
+    try {
+      scaler.fit(X);
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("column 1"), std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("finite"), std::string::npos);
+    }
+  }
 }
 
 TEST(ScalerTest, SaveLoadPreservesTransform) {

@@ -86,5 +86,52 @@ TEST(ParallelForTest, LargeGrainStillCoversRange) {
   EXPECT_EQ(count.load(), 10);
 }
 
+// Regression: a parallel_for issued from inside a pool task used to block in
+// future.get() while its chunks sat behind other blocked workers, wedging
+// the process.  Nested calls must now run inline and complete.  This test
+// binary carries a ctest TIMEOUT so a reintroduced deadlock fails fast.
+TEST(ParallelForTest, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  // Outer width > worker count so every worker is busy with an outer chunk.
+  parallel_for(pool, 0, 8, [&](std::size_t) {
+    parallel_for(pool, 0, 64, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 8 * 64);
+}
+
+TEST(ParallelForTest, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, 6, [&](std::size_t) {
+    parallel_for(pool, 0, 4, [&](std::size_t) {
+      parallel_for(pool, 0, 16, [&](std::size_t) { ++count; });
+    });
+  });
+  EXPECT_EQ(count.load(), 6 * 4 * 16);
+}
+
+TEST(ParallelForTest, NestedGlobalPoolOverloadCompletes) {
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    parallel_for(0, 32, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 4 * 32);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());  // caller is not a worker
+  std::atomic<bool> inside{false}, inside_other{false};
+  pool.submit([&] {
+        inside = pool.on_worker_thread();
+        inside_other = other.on_worker_thread();
+      })
+      .get();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(inside_other.load());  // flag is per-pool, not per-thread
+}
+
 }  // namespace
 }  // namespace prodigy::util

@@ -1,9 +1,11 @@
 // prodigy_predict — the Fig. 4 dashboard request as a command-line call.
 //
 //   prodigy_predict --store store.dsos --model model_dir --job 1234
-//                   [--trim 60] [--all] [--report]
+//                   [--trim 60] [--all] [--report] [--metrics-out PATH]
 //
 // --report prints the markdown dashboard block instead of plain lines.
+// --metrics-out dumps the process metrics registry on exit (JSON when PATH
+// ends in .json, Prometheus text otherwise).
 //
 // Prints one verdict per compute node of the job (or of every job with
 // --all), exactly what the Grafana anomaly-detection dashboard displays.
@@ -11,6 +13,7 @@
 #include "deploy/service.hpp"
 #include "tool_common.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 #include <cstdio>
 
@@ -20,7 +23,7 @@ int main(int argc, char** argv) {
   if (!flags.has("store") || !flags.has("model") ||
       (!flags.has("job") && !flags.has("all"))) {
     tools::usage("usage: prodigy_predict --store FILE --model DIR "
-                 "(--job ID | --all) [--trim S]\n");
+                 "(--job ID | --all) [--trim S] [--metrics-out PATH]\n");
   }
   util::set_log_level(util::LogLevel::Warn);
 
@@ -64,6 +67,11 @@ int main(int argc, char** argv) {
   if (jobs.size() > 1) {
     std::printf("\n%zu / %zu nodes anomalous across %zu jobs\n", anomalous_nodes,
                 total_nodes, jobs.size());
+  }
+  if (flags.has("metrics-out")) {
+    const auto path = flags.get("metrics-out", std::string());
+    util::MetricsRegistry::global().write_file(path);
+    std::fprintf(stderr, "metrics -> %s\n", path.c_str());
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 //
 //   prodigy_simulate --out store.dsos [--system Eclipse|Volta]
 //                    [--scale 0.02] [--duration 300] [--seed 1]
+//                    [--metrics-out PATH]
 //   prodigy_simulate --out store.dsos --app LAMMPS --jobs 5 --nodes 4 \
 //                    [--anomaly memleak --intensity 1.0 --anomalous-nodes 1,3]
 //
@@ -11,6 +12,7 @@
 #include "telemetry/dataset_builder.hpp"
 #include "tool_common.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 #include <cstdio>
 
@@ -83,5 +85,10 @@ int main(int argc, char** argv) {
   store.save(out);
   std::printf("wrote %zu jobs (%zu datapoints) to %s\n", store.job_count(),
               store.datapoint_count(), out.c_str());
+  if (flags.has("metrics-out")) {
+    const auto path = flags.get("metrics-out", std::string());
+    util::MetricsRegistry::global().write_file(path);
+    std::printf("metrics -> %s\n", path.c_str());
+  }
   return 0;
 }

@@ -2,7 +2,7 @@
 //
 //   prodigy_train --store store.dsos --out model_dir
 //                 [--features 2000] [--epochs 300] [--batch 32] [--lr 1e-3]
-//                 [--trim 60] [--system Eclipse]
+//                 [--trim 60] [--system Eclipse] [--metrics-out PATH]
 //
 // Trains on every job in the snapshot: chi-square feature selection when the
 // snapshot contains anomalous runs, variance ranking otherwise; the VAE is
@@ -12,6 +12,7 @@
 #include "deploy/service.hpp"
 #include "tool_common.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 #include <cstdio>
@@ -21,7 +22,8 @@ int main(int argc, char** argv) {
   const tools::Flags flags(argc, argv);
   if (!flags.has("store") || !flags.has("out")) {
     tools::usage("usage: prodigy_train --store FILE --out DIR "
-                 "[--features K --epochs E --batch B --lr R --trim S]\n");
+                 "[--features K --epochs E --batch B --lr R --trim S "
+                 "--metrics-out PATH]\n");
   }
   util::set_log_level(util::LogLevel::Info);
 
@@ -46,5 +48,10 @@ int main(int argc, char** argv) {
   std::printf("trained in %.1fs; threshold %.6f; %zu features; bundle -> %s\n",
               timer.elapsed_seconds(), service.bundle().detector.threshold(),
               service.bundle().metadata.feature_names.size(), out.c_str());
+  if (flags.has("metrics-out")) {
+    const auto path = flags.get("metrics-out", std::string());
+    util::MetricsRegistry::global().write_file(path);
+    std::printf("metrics -> %s\n", path.c_str());
+  }
   return 0;
 }
