@@ -1,0 +1,194 @@
+// Concurrent analytics-service benchmark: the serial-vs-concurrent request
+// path delta.  Builds a multi-job DSOS store, trains a budget model, then
+// measures analyze_job throughput (jobs/sec) and latency percentiles at
+// 1/2/4/8 client threads — cold (cache disabled) and warm (result cache on).
+//
+//   service_throughput [--jobs 24] [--nodes 4] [--duration 80] [--repeat 3]
+//                      [--epochs 120] [--features 64] [--explain]
+//
+// Output is a markdown table (pasted into EXPERIMENTS.md).
+#include "bench_common.hpp"
+#include "deploy/dsos.hpp"
+#include "deploy/service.hpp"
+#include "hpas/anomalies.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace prodigy;
+
+telemetry::JobTelemetry make_job(std::int64_t job_id, std::size_t nodes,
+                                 double duration,
+                                 hpas::AnomalySpec anomaly = hpas::healthy_spec(),
+                                 std::vector<std::size_t> anomalous_nodes = {}) {
+  telemetry::RunConfig config;
+  config.app = telemetry::application_by_name("LAMMPS");
+  config.job_id = job_id;
+  config.num_nodes = nodes;
+  config.duration_s = duration;
+  config.seed = static_cast<std::uint64_t>(job_id) * 7919 + 13;
+  config.anomaly = anomaly;
+  config.anomalous_nodes = std::move(anomalous_nodes);
+  config.first_component_id = job_id * 100;
+  return telemetry::generate_run(config);
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct PassResult {
+  double jobs_per_sec = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One benchmark pass: `clients` threads drain `repeat` rounds of `jobs`.
+PassResult run_pass(const deploy::AnalyticsService& service,
+                    const std::vector<std::int64_t>& jobs, std::size_t clients,
+                    std::size_t repeat) {
+  std::vector<std::int64_t> work;
+  work.reserve(jobs.size() * repeat);
+  for (std::size_t r = 0; r < repeat; ++r) {
+    work.insert(work.end(), jobs.begin(), jobs.end());
+  }
+  std::vector<double> latencies(work.size(), 0.0);
+  std::atomic<std::size_t> next{0};
+
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= work.size()) return;
+        util::Timer request;
+        const auto analysis = service.analyze_job(work[i]);
+        (void)analysis;
+        latencies[i] = request.elapsed_seconds();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed = wall.elapsed_seconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  PassResult result;
+  result.jobs_per_sec =
+      elapsed > 0 ? static_cast<double>(work.size()) / elapsed : 0.0;
+  result.p50 = percentile(latencies, 0.50);
+  result.p95 = percentile(latencies, 0.95);
+  result.p99 = percentile(latencies, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto job_count = flags.get("jobs", static_cast<std::size_t>(24));
+  const auto nodes = flags.get("nodes", static_cast<std::size_t>(4));
+  const double duration = flags.get("duration", 80.0);
+  const auto repeat = flags.get("repeat", static_cast<std::size_t>(3));
+  const bool explain = flags.has("explain");
+
+  deploy::DsosStore store;
+  std::vector<std::int64_t> train_jobs, query_jobs;
+  const auto memleak = hpas::table2_configurations().back();
+  for (std::size_t i = 0; i < job_count; ++i) {
+    const auto job_id = static_cast<std::int64_t>(i + 1);
+    // Every 4th job carries a memleak on half its nodes, both in training
+    // (chi-square needs two classes) and in the query set.
+    if (i % 4 == 3) {
+      std::vector<std::size_t> bad;
+      for (std::size_t n = 0; n < nodes; n += 2) bad.push_back(n);
+      store.ingest(make_job(job_id, nodes, duration, memleak, bad));
+    } else {
+      store.ingest(make_job(job_id, nodes, duration));
+    }
+    if (i < job_count / 2) {
+      train_jobs.push_back(job_id);
+    } else {
+      query_jobs.push_back(job_id);
+    }
+  }
+  std::printf("# store: %zu jobs x %zu nodes (%.0fs series), querying %zu jobs, "
+              "repeat %zu\n",
+              job_count, nodes, duration, query_jobs.size(), repeat);
+
+  deploy::TrainFromStoreOptions options;
+  options.preprocess.trim_seconds = 20;
+  options.top_k_features = flags.get("features", static_cast<std::size_t>(64));
+  options.model.vae.encoder_hidden = {24, 8};
+  options.model.vae.latent_dim = 3;
+  options.model.train.epochs = flags.get("epochs", static_cast<std::size_t>(120));
+  options.model.train.batch_size = 16;
+  options.model.train.learning_rate = 2e-3;
+  options.model.train.validation_split = 0.0;
+  options.model.train.early_stopping_patience = 0;
+
+  util::Timer train_timer;
+  deploy::AnalyticsService service =
+      deploy::AnalyticsService::train_from_store(store, train_jobs, options, explain);
+  std::printf("# trained in %.1fs (explain=%d)\n", train_timer.elapsed_seconds(),
+              explain ? 1 : 0);
+
+  // Serial baseline: one client, per-node fan-out pinned to a 1-thread pool,
+  // no result cache — the PR-1 request path.
+  util::ThreadPool serial_pool(1);
+  service.set_thread_pool(&serial_pool);
+  service.set_cache_capacity(0);
+  const PassResult serial = run_pass(service, query_jobs, 1, repeat);
+  std::printf("\n## service_throughput (%zu-core host)\n\n",
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  std::printf("| mode | clients | jobs/s | p50 (s) | p95 (s) | p99 (s) | vs serial |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+  std::printf("| serial (PR-1 path) | 1 | %.1f | %.4f | %.4f | %.4f | 1.0x |\n",
+              serial.jobs_per_sec, serial.p50, serial.p95, serial.p99);
+
+  // Concurrent path, cache still off: pooled per-node fan-out + shared-read
+  // DSOS under 1/2/4/8 client threads.
+  service.set_thread_pool(nullptr);
+  for (const std::size_t clients : {1, 2, 4, 8}) {
+    const PassResult cold = run_pass(service, query_jobs, clients, repeat);
+    std::printf("| concurrent, cold | %zu | %.1f | %.4f | %.4f | %.4f | %.1fx |\n",
+                clients, cold.jobs_per_sec, cold.p50, cold.p95, cold.p99,
+                serial.jobs_per_sec > 0 ? cold.jobs_per_sec / serial.jobs_per_sec
+                                        : 0.0);
+  }
+
+  // Warm cache: first pass fills, measured passes hit.
+  service.set_cache_capacity(job_count);
+  run_pass(service, query_jobs, 1, 1);  // warm-up fill
+  for (const std::size_t clients : {1, 4}) {
+    const PassResult warm = run_pass(service, query_jobs, clients, repeat);
+    std::printf("| concurrent, cached | %zu | %.1f | %.6f | %.6f | %.6f | %.1fx |\n",
+                clients, warm.jobs_per_sec, warm.p50, warm.p95, warm.p99,
+                serial.jobs_per_sec > 0 ? warm.jobs_per_sec / serial.jobs_per_sec
+                                        : 0.0);
+  }
+
+  // Cache-hit speedup headline: cold single analyze vs cached single analyze.
+  service.set_cache_capacity(0);
+  service.set_cache_capacity(job_count);
+  util::Timer cold_timer;
+  (void)service.analyze_job(query_jobs.front());
+  const double cold_s = cold_timer.elapsed_seconds();
+  util::Timer hit_timer;
+  (void)service.analyze_job(query_jobs.front());
+  const double hit_s = hit_timer.elapsed_seconds();
+  std::printf("\ncache-hit path: cold %.4fs vs hit %.6fs (%.0fx faster)\n", cold_s,
+              hit_s, hit_s > 0 ? cold_s / hit_s : 0.0);
+  return 0;
+}

@@ -40,21 +40,25 @@ telemetry::NodeSeries read_node(util::BinaryReader& reader) {
 }  // namespace
 
 void DsosStore::ingest(const telemetry::JobTelemetry& job) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   job_apps_[job.job_id] = job.app;
+  job_generation_[job.job_id] = ++generation_;
   for (const auto& node : job.nodes) {
     nodes_[{node.job_id, node.component_id}] = node;
   }
+  util::MetricsRegistry::global().counter("prodigy_dsos_ingests_total").increment();
 }
 
 void DsosStore::ingest_node(const telemetry::NodeSeries& node) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   job_apps_.emplace(node.job_id, node.app);
+  job_generation_[node.job_id] = ++generation_;
   nodes_[{node.job_id, node.component_id}] = node;
+  util::MetricsRegistry::global().counter("prodigy_dsos_ingests_total").increment();
 }
 
 std::vector<std::int64_t> DsosStore::job_ids() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<std::int64_t> ids;
   ids.reserve(job_apps_.size());
   for (const auto& [id, app] : job_apps_) ids.push_back(id);
@@ -62,13 +66,14 @@ std::vector<std::int64_t> DsosStore::job_ids() const {
 }
 
 bool DsosStore::has_job(std::int64_t job_id) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return job_apps_.contains(job_id);
 }
 
-telemetry::JobTelemetry DsosStore::query_job(std::int64_t job_id) const {
+telemetry::JobTelemetry DsosStore::query_job(std::int64_t job_id,
+                                             std::uint64_t* generation) const {
   util::StageTimer stage("deploy.dsos.query_job");
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   const auto app_it = job_apps_.find(job_id);
   if (app_it == job_apps_.end()) {
     throw std::out_of_range("DsosStore: unknown job " + std::to_string(job_id));
@@ -80,11 +85,15 @@ telemetry::JobTelemetry DsosStore::query_job(std::int64_t job_id) const {
        it != nodes_.end() && it->first.first == job_id; ++it) {
     job.nodes.push_back(it->second);
   }
+  if (generation != nullptr) {
+    const auto gen_it = job_generation_.find(job_id);
+    *generation = gen_it == job_generation_.end() ? 0 : gen_it->second;
+  }
   return job;
 }
 
 std::vector<std::int64_t> DsosStore::components_of(std::int64_t job_id) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<std::int64_t> components;
   for (auto it = nodes_.lower_bound({job_id, INT64_MIN});
        it != nodes_.end() && it->first.first == job_id; ++it) {
@@ -95,7 +104,7 @@ std::vector<std::int64_t> DsosStore::components_of(std::int64_t job_id) const {
 
 telemetry::NodeSeries DsosStore::query_node(std::int64_t job_id,
                                             std::int64_t component_id) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   const auto it = nodes_.find({job_id, component_id});
   if (it == nodes_.end()) {
     throw std::out_of_range("DsosStore: unknown node " + std::to_string(job_id) +
@@ -104,20 +113,31 @@ telemetry::NodeSeries DsosStore::query_node(std::int64_t job_id,
   return it->second;
 }
 
+std::uint64_t DsosStore::job_generation(std::int64_t job_id) const {
+  std::shared_lock lock(mutex_);
+  const auto it = job_generation_.find(job_id);
+  return it == job_generation_.end() ? 0 : it->second;
+}
+
+std::uint64_t DsosStore::generation() const {
+  std::shared_lock lock(mutex_);
+  return generation_;
+}
+
 std::size_t DsosStore::job_count() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return job_apps_.size();
 }
 
 std::size_t DsosStore::datapoint_count() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::size_t total = 0;
   for (const auto& [key, node] : nodes_) total += node.values.size();
   return total;
 }
 
 void DsosStore::save(const std::string& path) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   util::BinaryWriter writer(path);
   writer.write_magic(kStoreMagic, 1);
   writer.write_u64(job_apps_.size());
@@ -137,6 +157,7 @@ DsosStore DsosStore::load(const std::string& path) {
   for (std::uint64_t i = 0; i < job_count; ++i) {
     const auto id = reader.read_i64();
     store.job_apps_[id] = reader.read_string();
+    store.job_generation_[id] = ++store.generation_;
   }
   const auto node_count = reader.read_u64();
   for (std::uint64_t i = 0; i < node_count; ++i) {

@@ -2,6 +2,12 @@
 // continuously ingests ldmsd sampler data and answers job-scoped queries
 // from the analytics pipeline.  In-memory with a binary file snapshot; keyed
 // by (job_id, component_id) exactly as the paper's prepared frames are.
+//
+// Concurrency model: readers (dashboard queries) take a shared lock and run
+// in parallel; writers (ldmsd ingest) take an exclusive lock.  Every ingest
+// bumps a store-wide generation counter and stamps the touched job with it,
+// so callers can key caches by (job, generation) and detect re-ingest
+// without holding the lock across the whole analysis.
 #pragma once
 
 #include "telemetry/generator.hpp"
@@ -10,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -19,14 +26,23 @@ class DsosStore {
  public:
   DsosStore() = default;
 
-  // Movable (fresh mutex in the destination); not copyable.
-  DsosStore(DsosStore&& other) noexcept
-      : nodes_(std::move(other.nodes_)), job_apps_(std::move(other.job_apps_)) {}
+  // Movable (fresh mutex in the destination); not copyable.  The source is
+  // locked exclusively while its maps are stolen so a move racing with
+  // concurrent ingest never reads torn map internals.
+  DsosStore(DsosStore&& other) noexcept {
+    std::unique_lock lock(other.mutex_);
+    nodes_ = std::move(other.nodes_);
+    job_apps_ = std::move(other.job_apps_);
+    job_generation_ = std::move(other.job_generation_);
+    generation_ = other.generation_;
+  }
   DsosStore& operator=(DsosStore&& other) noexcept {
     if (this != &other) {
       std::scoped_lock lock(mutex_, other.mutex_);
       nodes_ = std::move(other.nodes_);
       job_apps_ = std::move(other.job_apps_);
+      job_generation_ = std::move(other.job_generation_);
+      generation_ = other.generation_;
     }
     return *this;
   }
@@ -43,8 +59,12 @@ class DsosStore {
   std::vector<std::int64_t> job_ids() const;
   bool has_job(std::int64_t job_id) const;
 
-  /// Full telemetry of one job; throws std::out_of_range if absent.
-  telemetry::JobTelemetry query_job(std::int64_t job_id) const;
+  /// Full telemetry of one job; throws std::out_of_range if absent.  When
+  /// `generation` is non-null it receives the job's generation stamp read
+  /// under the same lock as the data, i.e. the data/generation pair is a
+  /// consistent snapshot even with concurrent writers.
+  telemetry::JobTelemetry query_job(std::int64_t job_id,
+                                    std::uint64_t* generation = nullptr) const;
 
   /// Component ids attached to a job.
   std::vector<std::int64_t> components_of(std::int64_t job_id) const;
@@ -52,6 +72,13 @@ class DsosStore {
   /// One node's series; throws std::out_of_range if absent.
   telemetry::NodeSeries query_node(std::int64_t job_id,
                                    std::int64_t component_id) const;
+
+  /// Monotonic per-job ingest stamp: 0 for unknown jobs, otherwise the value
+  /// of the store-wide generation counter when the job was last written.
+  std::uint64_t job_generation(std::int64_t job_id) const;
+
+  /// Store-wide generation counter: total number of ingest operations.
+  std::uint64_t generation() const;
 
   std::size_t job_count() const;
   /// Total stored readings (timestamps x metrics over all nodes).
@@ -63,9 +90,11 @@ class DsosStore {
  private:
   using NodeKey = std::pair<std::int64_t, std::int64_t>;  // (job, component)
 
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   std::map<NodeKey, telemetry::NodeSeries> nodes_;
   std::map<std::int64_t, std::string> job_apps_;
+  std::map<std::int64_t, std::uint64_t> job_generation_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace prodigy::deploy

@@ -4,16 +4,35 @@
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 
 namespace prodigy::deploy {
 
+namespace {
+// Process-unique bundle stamps so result-cache keys from different services
+// (e.g. after a retrain) can never collide.
+std::uint64_t next_bundle_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace
+
 AnalyticsService::AnalyticsService(const DsosStore& store, core::ModelBundle bundle,
                                    pipeline::PreprocessOptions preprocess,
-                                   bool explain, comte::ComteConfig explanations)
+                                   bool explain, comte::ComteConfig explanations,
+                                   std::size_t cache_capacity)
     : store_(store), bundle_(std::move(bundle)), preprocess_(preprocess),
-      explain_(explain), explanations_(explanations) {}
+      explain_(explain), bundle_id_(next_bundle_id()),
+      cache_(std::make_unique<AnalysisCache>(
+          cache_capacity,
+          &util::MetricsRegistry::global().counter("prodigy_deploy_cache_hits_total"),
+          &util::MetricsRegistry::global().counter(
+              "prodigy_deploy_cache_misses_total"),
+          &util::MetricsRegistry::global().counter(
+              "prodigy_deploy_cache_evictions_total"))),
+      explanations_(explanations) {}
 
 void AnalyticsService::build_explainer_context(
     const features::FeatureDataset& train_data) {
@@ -30,25 +49,45 @@ void AnalyticsService::build_explainer_context(
 
 JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
   util::Timer timer;
+  auto& registry = util::MetricsRegistry::global();
+  registry.counter("prodigy_deploy_requests_total").increment();
+
+  // Fast path: a finished analysis for this exact (job, generation, bundle)
+  // triple.  The generation probe takes only a shared DSOS lock; if a writer
+  // re-ingests between the probe and the lookup we merely miss and recompute.
+  if (auto cached =
+          cache_->get({job_id, store_.job_generation(job_id), bundle_id_})) {
+    JobAnalysis analysis = **cached;
+    analysis.from_cache = true;
+    analysis.seconds = timer.elapsed_seconds();
+    return analysis;
+  }
+
   JobAnalysis analysis;
   analysis.job_id = job_id;
-  util::MetricsRegistry::global().counter("prodigy_deploy_requests_total").increment();
 
   double query_s = 0.0, features_s = 0.0, score_s = 0.0, verdicts_s = 0.0;
+  util::ThreadPool& pool = pool_ != nullptr ? *pool_ : util::ThreadPool::global();
 
+  // The generation stamp is read under the same lock as the telemetry, so
+  // the cached entry below can never pair new data with an old stamp.
+  std::uint64_t generation = 0;
   util::StageTimer query_timer("deploy.request.query", &query_s);
-  const telemetry::JobTelemetry job = store_.query_job(job_id);
+  const telemetry::JobTelemetry job = store_.query_job(job_id, &generation);
   query_timer.stop();
   analysis.app = job.app;
+  analysis.store_generation = generation;
 
-  // DataGenerator/DataPipeline: preprocess + feature extraction.
+  // DataGenerator/DataPipeline: per-node preprocess + feature extraction,
+  // fanned out across the pool (rows written by index -> deterministic).
   util::StageTimer features_timer("deploy.request.features", &features_s);
   std::vector<telemetry::JobTelemetry> jobs{job};
   const features::FeatureDataset dataset =
-      pipeline::DataPipeline::build_from_jobs(jobs, preprocess_);
+      pipeline::DataPipeline::build_from_jobs(jobs, preprocess_, &pool);
   features_timer.stop();
 
-  // AnomalyDetector: column selection + scaler + model.
+  // AnomalyDetector: column selection + scaler + model (batched, serial
+  // w.r.t. nodes so scores match the single-threaded reference exactly).
   util::StageTimer score_timer("deploy.request.score", &score_s);
   const tensor::Matrix model_input = bundle_.transform_full(dataset.X);
   const auto scores = bundle_.detector.score(model_input);
@@ -56,6 +95,9 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
   score_timer.stop();
 
   // Verdict assembly, including CoMTE explanations for anomalous nodes.
+  // Each node's verdict is independent (CoMTE search is seeded per call), so
+  // the loop fans out; per-node timings land in a per-index slot and are
+  // merged into the registry after the join, keeping the metrics race-free.
   util::StageTimer verdicts_timer("deploy.request.verdicts", &verdicts_s);
   std::optional<comte::ThresholdModelAdapter> adapter;
   std::optional<comte::ComteExplainer> explainer;
@@ -65,30 +107,42 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
                       bundle_.metadata.feature_names, explanations_);
   }
 
-  analysis.nodes.reserve(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
+  const std::size_t node_count = dataset.size();
+  analysis.nodes.resize(node_count);
+  std::vector<double> node_seconds(node_count, 0.0);
+  std::atomic<std::uint64_t> anomalous_nodes{0};
+  util::parallel_for(pool, 0, node_count, [&](std::size_t i) {
+    util::Timer node_timer;
     NodeVerdict verdict;
     verdict.component_id = dataset.meta[i].component_id;
     verdict.score = scores[i];
     verdict.threshold = threshold;
     verdict.anomalous = scores[i] > threshold;
     if (verdict.anomalous) {
-      util::MetricsRegistry::global()
-          .counter("prodigy_deploy_anomalous_nodes_total")
-          .increment();
+      anomalous_nodes.fetch_add(1, std::memory_order_relaxed);
+      if (explainer) {
+        verdict.explanation = explainer->explain_optimized(model_input.row(i));
+      }
     }
-    if (verdict.anomalous && explainer) {
-      verdict.explanation = explainer->explain_optimized(model_input.row(i));
-    }
-    analysis.nodes.push_back(std::move(verdict));
-  }
+    analysis.nodes[i] = std::move(verdict);
+    node_seconds[i] = node_timer.elapsed_seconds();
+  });
   verdicts_timer.stop();
+
+  // Merge the per-thread measurements now that the workers are done.
+  registry.counter("prodigy_deploy_anomalous_nodes_total")
+      .increment(anomalous_nodes.load(std::memory_order_relaxed));
+  auto& node_histogram =
+      registry.histogram("prodigy_stage_deploy_request_node_verdict_seconds");
+  for (const double seconds : node_seconds) node_histogram.observe(seconds);
 
   analysis.stages = {{"query", query_s},
                      {"features", features_s},
                      {"score", score_s},
                      {"verdicts", verdicts_s}};
   analysis.seconds = timer.elapsed_seconds();
+  cache_->put({job_id, generation, bundle_id_},
+              std::make_shared<const JobAnalysis>(analysis));
   return analysis;
 }
 
@@ -111,7 +165,8 @@ std::string render_markdown_report(const JobAnalysis& analysis) {
   for (const auto& node : analysis.nodes) anomalous += node.anomalous ? 1 : 0;
   out += std::to_string(anomalous) + " of " + std::to_string(analysis.nodes.size()) +
          " compute nodes anomalous; analyzed in " +
-         std::to_string(analysis.seconds) + " s\n\n";
+         std::to_string(analysis.seconds) + " s" +
+         (analysis.from_cache ? " (cache hit)" : "") + "\n\n";
   out += "| component | verdict | score | threshold |\n";
   out += "|---|---|---|---|\n";
   for (const auto& node : analysis.nodes) {
@@ -193,7 +248,7 @@ AnalyticsService AnalyticsService::train_from_store(
   fit_timer.stop();
 
   AnalyticsService service(store, std::move(bundle), options.preprocess, explain,
-                           options.explanations);
+                           options.explanations, options.cache_capacity);
   if (explain) service.build_explainer_context(dataset);
   return service;
 }

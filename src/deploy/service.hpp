@@ -9,9 +9,12 @@
 #include "core/model_trainer.hpp"
 #include "deploy/dsos.hpp"
 #include "pipeline/data_pipeline.hpp"
+#include "util/lru_cache.hpp"
+#include "util/thread_pool.hpp"
 
 #include <memory>
 #include <optional>
+#include <tuple>
 
 namespace prodigy::deploy {
 
@@ -37,6 +40,11 @@ struct JobAnalysis {
   std::vector<NodeVerdict> nodes;
   double seconds = 0.0;  // end-to-end request latency
   std::vector<StageLatency> stages;  // query / features / score / verdicts
+  /// DSOS generation stamp of the telemetry this analysis was computed from
+  /// (read under the same lock as the data, so the pair is consistent even
+  /// with concurrent ingest).
+  std::uint64_t store_generation = 0;
+  bool from_cache = false;  // true when served from the result cache
 };
 
 struct TrainFromStoreOptions {
@@ -48,19 +56,45 @@ struct TrainFromStoreOptions {
   /// genuinely require several substituted metrics to flip.
   comte::ComteConfig explanations{/*max_metrics=*/12, /*distractor_candidates=*/5,
                                   /*restarts=*/3};
+  /// Result-cache capacity for the returned service (0 disables caching).
+  std::size_t cache_capacity = 128;
 };
 
 class AnalyticsService {
  public:
   /// `store` must outlive the service.  When `explain` is true, anomalous
   /// node verdicts carry CoMTE explanations (built from the bundle's
-  /// training-space data captured at train time).
+  /// training-space data captured at train time).  `cache_capacity` bounds
+  /// the LRU result cache (0 disables it).
   AnalyticsService(const DsosStore& store, core::ModelBundle bundle,
                    pipeline::PreprocessOptions preprocess, bool explain,
-                   comte::ComteConfig explanations = {});
+                   comte::ComteConfig explanations = {},
+                   std::size_t cache_capacity = 128);
 
   /// The Grafana request: job ID in, per-node verdicts out.
+  ///
+  /// Thread-safe: per-node work (preprocess, feature extraction, verdict
+  /// assembly, CoMTE search) fans out across the configured thread pool, and
+  /// many client threads may call analyze_job concurrently.  Results are
+  /// bit-identical for any pool size.  Repeated requests for a job whose
+  /// DSOS generation has not changed are served from a bounded LRU cache
+  /// keyed by (job id, store generation, bundle id); any re-ingest bumps the
+  /// generation and therefore invalidates the cached entry.
   JobAnalysis analyze_job(std::int64_t job_id) const;
+
+  /// Overrides the worker pool used for per-node fan-out (nullptr restores
+  /// the process-global pool).  Intended for tests and benchmarks that pin
+  /// the degree of parallelism.
+  void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+
+  /// Resizes the result cache; shrinking evicts least-recently-used entries
+  /// and 0 disables caching entirely.
+  void set_cache_capacity(std::size_t capacity) { cache_->set_capacity(capacity); }
+  std::size_t cached_analyses() const { return cache_->size(); }
+
+  /// Process-unique stamp of the model bundle this service serves; part of
+  /// the result-cache key so verdicts from different bundles never mix.
+  std::uint64_t bundle_id() const noexcept { return bundle_id_; }
 
   /// Node-level analysis (paper: "job- and node-level analysis"): the
   /// verdict for one compute node of a job.  Throws std::out_of_range if the
@@ -79,12 +113,24 @@ class AnalyticsService {
                                            bool explain = true);
 
  private:
+  // (job id, DSOS generation, bundle id) -> finished analysis.  Immutable
+  // shared_ptr payloads keep hits copy-cheap and safe to hand out while other
+  // threads insert or evict.
+  using CacheKey = std::tuple<std::int64_t, std::uint64_t, std::uint64_t>;
+  using AnalysisCache =
+      util::LruCache<CacheKey, std::shared_ptr<const JobAnalysis>>;
+
   void build_explainer_context(const features::FeatureDataset& train_data);
 
   const DsosStore& store_;
   core::ModelBundle bundle_;
   pipeline::PreprocessOptions preprocess_;
   bool explain_;
+  util::ThreadPool* pool_ = nullptr;  // nullptr -> util::ThreadPool::global()
+  std::uint64_t bundle_id_ = 0;
+  // unique_ptr (not a direct member) so the service stays movable: the cache
+  // owns a mutex, and train_from_store returns the service by value.
+  mutable std::unique_ptr<AnalysisCache> cache_;
 
   // Explainer context: scaled training matrix + labels in model-input space.
   tensor::Matrix explain_train_;

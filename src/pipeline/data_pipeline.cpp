@@ -23,7 +23,7 @@ std::vector<double> DataPipeline::extract(const PreparedNode& node) {
 
 features::FeatureDataset DataPipeline::build_from_jobs(
     const std::vector<telemetry::JobTelemetry>& jobs,
-    const PreprocessOptions& preprocess) {
+    const PreprocessOptions& preprocess, util::ThreadPool* pool) {
   static const std::vector<telemetry::MetricKind> kinds = [] {
     std::vector<telemetry::MetricKind> out;
     for (const auto& spec : telemetry::metric_catalog()) out.push_back(spec.kind);
@@ -36,51 +36,56 @@ features::FeatureDataset DataPipeline::build_from_jobs(
     }
     return out;
   }();
-  return build_from_jobs(jobs, metric_names, kinds, preprocess);
+  return build_from_jobs(jobs, metric_names, kinds, preprocess, pool);
 }
 
 features::FeatureDataset DataPipeline::build_from_jobs(
     const std::vector<telemetry::JobTelemetry>& jobs,
     const std::vector<std::string>& metric_names,
     const std::vector<telemetry::MetricKind>& kinds,
-    const PreprocessOptions& preprocess) {
+    const PreprocessOptions& preprocess, util::ThreadPool* pool) {
   if (metric_names.size() != kinds.size()) {
     throw std::invalid_argument("build_from_jobs: names/kinds size mismatch");
   }
   features::FeatureDataset dataset;
   dataset.feature_names = features::feature_column_names(metric_names);
 
-  std::size_t total_nodes = 0;
-  for (const auto& job : jobs) total_nodes += job.nodes.size();
+  std::vector<const telemetry::NodeSeries*> node_list;
+  for (const auto& job : jobs) {
+    for (const auto& node : job.nodes) node_list.push_back(&node);
+  }
+  const std::size_t total_nodes = node_list.size();
   util::MetricsRegistry::global()
       .counter("prodigy_pipeline_nodes_processed_total")
       .increment(total_nodes);
   dataset.X = tensor::Matrix(total_nodes, dataset.feature_names.size());
-  dataset.labels.reserve(total_nodes);
-  dataset.meta.reserve(total_nodes);
+  dataset.labels.resize(total_nodes);
+  dataset.meta.resize(total_nodes);
 
-  std::size_t row = 0;
-  for (const auto& job : jobs) {
-    for (const auto& node : job.nodes) {
-      if (node.values.cols() != metric_names.size()) {
-        throw std::invalid_argument("build_from_jobs: node frame width " +
-                                    std::to_string(node.values.cols()) +
-                                    " != " + std::to_string(metric_names.size()) +
-                                    " metric columns");
-      }
-      const tensor::Matrix prepared = preprocess_node(node.values, kinds, preprocess);
-      const auto features = features::extract_node_features(prepared);
-      dataset.X.set_row(row, features);
-      dataset.labels.push_back(node.label);
-      features::SampleMeta meta;
-      meta.job_id = node.job_id;
-      meta.component_id = node.component_id;
-      meta.app = node.app;
-      meta.anomaly = node.anomaly;
-      dataset.meta.push_back(std::move(meta));
-      ++row;
-    }
-  }
+  // Each row is preprocessed + extracted independently and written by index,
+  // so fanning out over the pool keeps the dataset bit-identical to a serial
+  // build no matter how many workers run.
+  util::parallel_for(
+      pool != nullptr ? *pool : util::ThreadPool::global(), 0, total_nodes,
+      [&](std::size_t row) {
+        const telemetry::NodeSeries& node = *node_list[row];
+        if (node.values.cols() != metric_names.size()) {
+          throw std::invalid_argument("build_from_jobs: node frame width " +
+                                      std::to_string(node.values.cols()) +
+                                      " != " + std::to_string(metric_names.size()) +
+                                      " metric columns");
+        }
+        const tensor::Matrix prepared =
+            preprocess_node(node.values, kinds, preprocess);
+        dataset.X.set_row(row, features::extract_node_features(prepared));
+        dataset.labels[row] = node.label;
+        features::SampleMeta meta;
+        meta.job_id = node.job_id;
+        meta.component_id = node.component_id;
+        meta.app = node.app;
+        meta.anomaly = node.anomaly;
+        dataset.meta[row] = std::move(meta);
+      });
   return dataset;
 }
 

@@ -8,6 +8,7 @@
 #include "pipeline/data_generator.hpp"
 #include "pipeline/scaler.hpp"
 #include "telemetry/dataset_builder.hpp"
+#include "util/thread_pool.hpp"
 
 namespace prodigy::pipeline {
 
@@ -26,9 +27,12 @@ class DataPipeline {
                                                 const PreprocessOptions& preprocess);
 
   /// Builds a feature dataset from explicit jobs (production experiments).
+  /// Per-node preprocessing/extraction fans out across `pool` (nullptr uses
+  /// the global pool); rows are written by index, so the result is
+  /// bit-identical regardless of the pool size.
   static features::FeatureDataset build_from_jobs(
       const std::vector<telemetry::JobTelemetry>& jobs,
-      const PreprocessOptions& preprocess);
+      const PreprocessOptions& preprocess, util::ThreadPool* pool = nullptr);
 
   /// Heterogeneous variant: jobs whose node frames use a custom column
   /// layout (e.g. CPU + GPU catalogs); `metric_names` and `kinds` describe
@@ -37,7 +41,7 @@ class DataPipeline {
       const std::vector<telemetry::JobTelemetry>& jobs,
       const std::vector<std::string>& metric_names,
       const std::vector<telemetry::MetricKind>& kinds,
-      const PreprocessOptions& preprocess);
+      const PreprocessOptions& preprocess, util::ThreadPool* pool = nullptr);
 
   /// Scaler access (fit on training features, reuse at inference).
   Scaler& scaler() noexcept { return scaler_; }

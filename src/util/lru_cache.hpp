@@ -1,0 +1,110 @@
+// Bounded, thread-safe LRU cache used by the deployment request path (job
+// analysis results keyed by store generation).  Header-only template; the
+// optional Counter bindings feed the metrics registry so deployments can
+// watch hit/miss/eviction rates without the cache knowing metric names.
+#pragma once
+
+#include "util/metrics.hpp"
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace prodigy::util {
+
+/// Least-recently-used cache over ordered keys.  All operations take the
+/// internal lock, so concurrent get/put from pool workers and client threads
+/// are safe.  A capacity of 0 disables caching: get always misses and put is
+/// a no-op (the counters still record the misses, which keeps hit-rate math
+/// honest when a deployment turns the cache off).
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity, Counter* hits = nullptr,
+                    Counter* misses = nullptr, Counter* evictions = nullptr)
+      : capacity_(capacity), hits_(hits), misses_(misses), evictions_(evictions) {}
+
+  /// Returns a copy of the cached value and marks the entry most-recent.
+  std::optional<Value> get(const Key& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      if (misses_ != nullptr) misses_->increment();
+      return std::nullopt;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);
+    if (hits_ != nullptr) hits_->increment();
+    return it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry when
+  /// the cache is full.
+  void put(const Key& key, Value value) {
+    std::lock_guard lock(mutex_);
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.emplace_front(key, std::move(value));
+    index_[key] = entries_.begin();
+    evict_overflow_locked();
+  }
+
+  /// Resizes the cache, evicting least-recently-used entries if it shrinks.
+  void set_capacity(std::size_t capacity) {
+    std::lock_guard lock(mutex_);
+    capacity_ = capacity;
+    evict_overflow_locked();
+  }
+
+  void erase(const Key& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    entries_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+    index_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+
+  std::size_t capacity() const {
+    std::lock_guard lock(mutex_);
+    return capacity_;
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  void evict_overflow_locked() {
+    while (entries_.size() > capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      if (evictions_ != nullptr) evictions_->increment();
+    }
+  }
+
+  std::size_t capacity_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;                            // front = most recent
+  std::map<Key, typename std::list<Entry>::iterator> index_;
+};
+
+}  // namespace prodigy::util

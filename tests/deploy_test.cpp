@@ -70,6 +70,34 @@ TEST(DsosStoreTest, ReingestReplacesJob) {
   EXPECT_EQ(store.job_count(), 1u);
 }
 
+TEST(DsosStoreTest, MoveTransfersDataAndGenerations) {
+  DsosStore source;
+  source.ingest(make_job(1, "LAMMPS", 2, 16));
+  source.ingest(make_job(2, "sw4", 3, 16));
+  const auto gen_before = source.job_generation(2);
+  ASSERT_GT(gen_before, 0u);
+
+  DsosStore moved(std::move(source));
+  EXPECT_EQ(moved.job_count(), 2u);
+  EXPECT_EQ(moved.query_job(2).nodes.size(), 3u);
+  EXPECT_EQ(moved.job_generation(2), gen_before);
+  EXPECT_EQ(moved.generation(), 2u);
+
+  DsosStore assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.job_count(), 2u);
+  EXPECT_EQ(assigned.job_generation(2), gen_before);
+}
+
+TEST(DsosStoreTest, ReingestBumpsGeneration) {
+  DsosStore store;
+  store.ingest(make_job(1, "LAMMPS", 2, 16));
+  const auto g1 = store.job_generation(1);
+  store.ingest(make_job(1, "LAMMPS", 2, 16, hpas::healthy_spec(), {}, 777));
+  EXPECT_GT(store.job_generation(1), g1);
+  EXPECT_EQ(store.generation(), 2u);
+}
+
 TEST(DsosStoreTest, SaveLoadRoundTrip) {
   DsosStore store;
   store.ingest(make_job(7, "ExaMiniMD", 2, 24));

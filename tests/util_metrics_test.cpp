@@ -1,5 +1,8 @@
 #include "util/metrics.hpp"
 
+#include "util/lru_cache.hpp"
+#include "util/thread_pool.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -85,6 +88,90 @@ TEST(MetricsTest, HistogramConcurrentObserves) {
   for (auto& thread : threads) thread.join();
   const auto snap = registry.histogram("latency_seconds").snapshot();
   EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kObservations);
+}
+
+// The deployment request path updates counters and histograms from pool
+// workers (parallel_for fan-out), not just raw std::threads — exercise
+// exactly that path.
+TEST(MetricsTest, CounterAndHistogramUpdatesFromThreadPool) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 2000;
+  parallel_for(pool, 0, kTasks, [&registry](std::size_t i) {
+    registry.counter("pool_events_total").increment();
+    registry.histogram("pool_latency_seconds").observe(0.001 * (i % 16));
+    registry.gauge("pool_high_water").update_max(static_cast<double>(i));
+  });
+  EXPECT_EQ(registry.counter("pool_events_total").value(), kTasks);
+  const auto snap = registry.histogram("pool_latency_seconds").snapshot();
+  EXPECT_EQ(snap.count, kTasks);
+  EXPECT_DOUBLE_EQ(registry.gauge("pool_high_water").value(),
+                   static_cast<double>(kTasks - 1));
+}
+
+TEST(LruCacheTest, HitMissEvictionCountersAndOrder) {
+  MetricsRegistry registry;
+  auto& hits = registry.counter("cache_hits_total");
+  auto& misses = registry.counter("cache_misses_total");
+  auto& evictions = registry.counter("cache_evictions_total");
+  LruCache<int, std::string> cache(2, &hits, &misses, &evictions);
+
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(misses.value(), 1u);
+
+  cache.put(1, "one");
+  cache.put(2, "two");
+  EXPECT_EQ(cache.get(1).value(), "one");  // 1 becomes most-recent
+  EXPECT_EQ(hits.value(), 1u);
+
+  cache.put(3, "three");  // evicts 2 (least-recently-used)
+  EXPECT_EQ(evictions.value(), 1u);
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), "one");
+  EXPECT_EQ(cache.get(3).value(), "three");
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.put(3, "III");  // refresh in place, no eviction
+  EXPECT_EQ(cache.get(3).value(), "III");
+  EXPECT_EQ(evictions.value(), 1u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache<int, int> cache(0);
+  cache.put(1, 10);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(LruCacheTest, SetCapacityShrinksAndEvicts) {
+  MetricsRegistry registry;
+  auto& evictions = registry.counter("cache_evictions_total");
+  LruCache<int, int> cache(4, nullptr, nullptr, &evictions);
+  for (int i = 0; i < 4; ++i) cache.put(i, i * 10);
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(evictions.value(), 3u);
+  EXPECT_EQ(cache.get(3).value(), 30);  // most recent survives
+}
+
+TEST(LruCacheTest, ConcurrentGetPutFromPoolIsConsistent) {
+  MetricsRegistry registry;
+  auto& hits = registry.counter("cache_hits_total");
+  auto& misses = registry.counter("cache_misses_total");
+  LruCache<int, int> cache(16, &hits, &misses, nullptr);
+  ThreadPool pool(4);
+  constexpr std::size_t kOps = 4000;
+  parallel_for(pool, 0, kOps, [&cache](std::size_t i) {
+    const int key = static_cast<int>(i % 32);
+    if (const auto value = cache.get(key)) {
+      // Values are keyed deterministically, so a hit can never be torn.
+      ASSERT_EQ(*value, key * 7);
+    } else {
+      cache.put(key, key * 7);
+    }
+  });
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_EQ(hits.value() + misses.value(), kOps);
 }
 
 TEST(MetricsTest, KindConflictThrows) {
