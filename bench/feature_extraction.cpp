@@ -1,0 +1,123 @@
+// Feature-extraction engine microbenchmarks: the cold-path cost the
+// SeriesProfile rewrite targets.  BM_ExtractWindow is the acceptance
+// workload (64 metrics x 1024 samples, the size of one node's scoring
+// window); BM_Group_* breaks a single series down by extractor group so
+// regressions are attributable.  Set PRODIGY_METRICS_OUT=<path> to dump the
+// metrics registry (stage histograms) after the run.
+#include "bench_common.hpp"
+
+#include "features/registry.hpp"
+#include "features/series_profile.hpp"
+#include "util/metrics.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+using namespace prodigy;
+
+tensor::Matrix make_window(std::size_t samples, std::size_t metrics,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Matrix values(samples, metrics);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values.data()[i] = rng.gaussian(5.0, 2.0);
+  }
+  return values;
+}
+
+std::vector<double> make_series(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.gaussian(5.0, 2.0);
+  return xs;
+}
+
+/// The acceptance workload: full extraction of a 64-metric x 1024-sample
+/// window (one node's scoring frame).
+void BM_ExtractWindow(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  const auto metrics = static_cast<std::size_t>(state.range(1));
+  const tensor::Matrix values = make_window(samples, metrics, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::extract_node_features(values));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(metrics));
+  state.counters["windows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExtractWindow)
+    ->Args({1024, 64})
+    ->Args({256, 64})
+    ->Args({1024, 256})
+    ->Unit(benchmark::kMillisecond);
+
+/// One series through the whole registry, scratch reused across iterations
+/// (the steady-state cost inside extract_node_features).
+void BM_ComputeAllFeatures(benchmark::State& state) {
+  const auto xs = make_series(static_cast<std::size_t>(state.range(0)), 7);
+  std::vector<double> out(features::features_per_metric());
+  features::FeatureScratch scratch;
+  for (auto _ : state) {
+    features::compute_all_features(xs, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ComputeAllFeatures)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Shared-profile construction alone (the one sort + one FFT + one fit +
+/// the moment passes that every group reads from).
+void BM_SeriesProfile(benchmark::State& state) {
+  const auto xs = make_series(static_cast<std::size_t>(state.range(0)), 11);
+  features::FeatureScratch scratch;
+  for (auto _ : state) {
+    auto profile = features::compute_series_profile(xs, scratch);
+    benchmark::DoNotOptimize(&profile);
+  }
+}
+BENCHMARK(BM_SeriesProfile)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Per-group cost over an already-built profile: how the registry's time
+/// splits across extractor families.
+void BM_Group(benchmark::State& state, const features::FeatureGroup* group) {
+  static const std::vector<double> xs = make_series(1024, 13);
+  features::FeatureScratch scratch;
+  const features::SeriesProfile profile =
+      features::compute_series_profile(xs, scratch);
+  std::vector<double> out(group->count, 0.0);
+  for (auto _ : state) {
+    group->fn(profile, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["features"] = static_cast<double>(group->count);
+}
+
+void register_group_benchmarks() {
+  for (const auto& group : features::feature_groups()) {
+    benchmark::RegisterBenchmark(("BM_Group/" + group.name).c_str(), BM_Group,
+                                 &group)
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_group_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("PRODIGY_METRICS_OUT")) {
+    prodigy::util::MetricsRegistry::global().write_file(path);
+    std::fprintf(stderr, "metrics -> %s\n", path);
+  }
+  return 0;
+}

@@ -54,8 +54,16 @@ ProdigyDetector::UnsupervisedFitReport ProdigyDetector::fit_unsupervised(
 
   // Screening rounds train briefly on purpose: an underfitted VAE has not
   // yet absorbed the rare anomalous modes, so their reconstruction errors
-  // still stand out.  Only the final round trains to the full budget.
+  // still stand out.  Only the final round trains to the full budget.  The
+  // guard restores the configured budget even when a fit throws mid-loop;
+  // without it an exception would leave the detector stuck at screen_epochs.
+  struct EpochsGuard {
+    nn::TrainOptions& options;
+    std::size_t saved;
+    ~EpochsGuard() { options.epochs = saved; }
+  };
   const auto full_epochs = config_.train.epochs;
+  const EpochsGuard epochs_guard{config_.train, full_epochs};
   const auto screen_epochs = std::max<std::size_t>(20, full_epochs / 4);
 
   for (std::size_t round = 0; round <= refinement_rounds; ++round) {
@@ -84,7 +92,6 @@ ProdigyDetector::UnsupervisedFitReport ProdigyDetector::fit_unsupervised(
     }
     kept = std::move(next);
   }
-  config_.train.epochs = full_epochs;
   report.final_training_size = kept.size();
   report.kept_indices = std::move(kept);
   return report;
@@ -129,6 +136,10 @@ ProdigyDetector ProdigyDetector::load(util::BinaryReader& reader) {
   detector.threshold_ = reader.read_f64();
   detector.config_.threshold_percentile = reader.read_f64();
   detector.model_ = VariationalAutoencoder::load(reader);
+  // Repopulate the architecture config from the persisted model: otherwise a
+  // later fit_healthy would train a fresh default-architecture VAE that
+  // ignores the loaded input_dim/latent_dim/hidden layout.
+  detector.config_.vae = detector.model_->config();
   return detector;
 }
 

@@ -3,6 +3,7 @@
 #include "tensor/stats.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <array>
 #include <cmath>
 #include <vector>
@@ -48,10 +49,15 @@ double mean_second_derivative_central(std::span<const double> xs) noexcept {
   return acc / static_cast<double>(xs.size() - 2);
 }
 
+double variation_coefficient(double mean, double stddev) noexcept {
+  if (mean == 0.0) return 0.0;
+  return stddev / std::abs(mean);
+}
+
 double variation_coefficient(std::span<const double> xs) noexcept {
   const double m = tensor::mean(xs);
   if (m == 0.0) return 0.0;
-  return tensor::stddev(xs) / std::abs(m);
+  return variation_coefficient(m, tensor::stddev(xs));
 }
 
 double value_range(std::span<const double> xs) noexcept {
@@ -168,14 +174,17 @@ double number_peaks(std::span<const double> xs, std::size_t support) noexcept {
   return static_cast<double>(peaks) / static_cast<double>(xs.size());
 }
 
-double ratio_beyond_r_sigma(std::span<const double> xs, double r) noexcept {
+double ratio_beyond_r_sigma(std::span<const double> xs, double r, double mean,
+                            double stddev) noexcept {
   if (xs.empty()) return 0.0;
-  const double m = tensor::mean(xs);
-  const double sd = tensor::stddev(xs);
-  if (sd == 0.0) return 0.0;
+  if (stddev == 0.0) return 0.0;
   std::size_t count = 0;
-  for (double x : xs) count += std::abs(x - m) > r * sd ? 1 : 0;
+  for (double x : xs) count += std::abs(x - mean) > r * stddev ? 1 : 0;
   return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double ratio_beyond_r_sigma(std::span<const double> xs, double r) noexcept {
+  return ratio_beyond_r_sigma(xs, r, tensor::mean(xs), tensor::stddev(xs));
 }
 
 double c3(std::span<const double> xs, std::size_t lag) noexcept {
@@ -201,16 +210,15 @@ double time_reversal_asymmetry(std::span<const double> xs, std::size_t lag) noex
   return acc / static_cast<double>(n);
 }
 
-double cid_ce(std::span<const double> xs, bool normalize) noexcept {
+double cid_ce(std::span<const double> xs, bool normalize, double mean,
+              double stddev) noexcept {
   if (xs.size() < 2) return 0.0;
   double acc = 0.0;
   if (normalize) {
-    const double m = tensor::mean(xs);
-    const double sd = tensor::stddev(xs);
-    if (sd == 0.0) return 0.0;
-    double prev = (xs[0] - m) / sd;
+    if (stddev == 0.0) return 0.0;
+    double prev = (xs[0] - mean) / stddev;
     for (std::size_t i = 1; i < xs.size(); ++i) {
-      const double current = (xs[i] - m) / sd;
+      const double current = (xs[i] - mean) / stddev;
       const double d = current - prev;
       acc += d * d;
       prev = current;
@@ -222,6 +230,11 @@ double cid_ce(std::span<const double> xs, bool normalize) noexcept {
     }
   }
   return std::sqrt(acc);
+}
+
+double cid_ce(std::span<const double> xs, bool normalize) noexcept {
+  if (!normalize) return cid_ce(xs, false, 0.0, 0.0);
+  return cid_ce(xs, true, tensor::mean(xs), tensor::stddev(xs));
 }
 
 double approximate_entropy(std::span<const double> xs, std::size_t m, double r_frac) {
@@ -241,30 +254,49 @@ double approximate_entropy(std::span<const double> xs, std::size_t m, double r_f
   const double r = r_frac * tensor::stddev(series);
   if (r == 0.0) return 0.0;
 
-  auto phi = [&](std::size_t dim) {
-    const std::size_t count = n - dim + 1;
-    double total = 0.0;
-    for (std::size_t i = 0; i < count; ++i) {
-      std::size_t matches = 0;
-      for (std::size_t j = 0; j < count; ++j) {
-        bool match = true;
-        for (std::size_t k = 0; k < dim && match; ++k) {
-          if (std::abs(series[i + k] - series[j + k]) > r) match = false;
-        }
-        if (match) ++matches;
+  // Exact pair-match counts for embedding dims m and m+1 in one symmetric
+  // sweep: a dim-(m+1) match is a dim-m match whose next component also
+  // agrees, so the expensive prefix comparison is shared, and (i, j) /
+  // (j, i) are counted together.  Counts are integers, so the iteration
+  // order cannot change them, and the phi log-sums below keep the original
+  // index order — the result is bit-identical to the naive two-pass
+  // O(2 n^2 m) loop this replaces.
+  const std::size_t count_lo = n - m + 1;  // windows of length m
+  const std::size_t count_hi = n - m;      // windows of length m+1
+  std::vector<std::uint32_t> matches_lo(count_lo, 1);  // self-match
+  std::vector<std::uint32_t> matches_hi(count_hi, 1);
+  for (std::size_t i = 0; i < count_lo; ++i) {
+    for (std::size_t j = i + 1; j < count_lo; ++j) {
+      bool match = true;
+      for (std::size_t k = 0; k < m && match; ++k) {
+        if (std::abs(series[i + k] - series[j + k]) > r) match = false;
       }
-      total += std::log(static_cast<double>(matches) / static_cast<double>(count));
+      if (!match) continue;
+      ++matches_lo[i];
+      ++matches_lo[j];
+      if (j < count_hi && std::abs(series[i + m] - series[j + m]) <= r) {
+        ++matches_hi[i];
+        ++matches_hi[j];
+      }
     }
-    return total / static_cast<double>(count);
-  };
+  }
 
-  return std::abs(phi(m) - phi(m + 1));
+  auto phi = [](std::span<const std::uint32_t> matches) {
+    const double count = static_cast<double>(matches.size());
+    double total = 0.0;
+    for (const auto matched : matches) {
+      total += std::log(static_cast<double>(matched) / count);
+    }
+    return total / count;
+  };
+  return std::abs(phi(matches_lo) - phi(matches_hi));
 }
 
-double binned_entropy(std::span<const double> xs, std::size_t max_bins) {
+double binned_entropy(std::span<const double> xs, std::size_t max_bins,
+                      double min_value, double max_value) {
   if (xs.empty() || max_bins == 0) return 0.0;
-  const double lo = tensor::min_value(xs);
-  const double hi = tensor::max_value(xs);
+  const double lo = min_value;
+  const double hi = max_value;
   if (hi <= lo) return 0.0;
   std::vector<std::size_t> counts(max_bins, 0);
   for (double x : xs) {
@@ -278,6 +310,12 @@ double binned_entropy(std::span<const double> xs, std::size_t max_bins) {
     entropy -= p * std::log(p);
   }
   return entropy;
+}
+
+double binned_entropy(std::span<const double> xs, std::size_t max_bins) {
+  if (xs.empty() || max_bins == 0) return 0.0;
+  return binned_entropy(xs, max_bins, tensor::min_value(xs),
+                        tensor::max_value(xs));
 }
 
 double benford_correlation(std::span<const double> xs) {

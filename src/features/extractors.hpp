@@ -24,6 +24,8 @@ double mean_second_derivative_central(std::span<const double> xs) noexcept;
 // --- dispersion ---
 /// stddev / |mean|; 0 when the mean is 0.
 double variation_coefficient(std::span<const double> xs) noexcept;
+/// Moment-reusing variant (the single-argument form delegates here).
+double variation_coefficient(double mean, double stddev) noexcept;
 double value_range(std::span<const double> xs) noexcept;  // max - min
 double interquartile_range(std::span<const double> xs);
 
@@ -45,6 +47,9 @@ double mean_crossing_rate(std::span<const double> xs) noexcept;
 double number_peaks(std::span<const double> xs, std::size_t support) noexcept;
 /// Fraction of samples farther than r * stddev from the mean.
 double ratio_beyond_r_sigma(std::span<const double> xs, double r) noexcept;
+/// Moment-reusing variant (the two-argument form delegates here).
+double ratio_beyond_r_sigma(std::span<const double> xs, double r, double mean,
+                            double stddev) noexcept;
 
 // --- nonlinearity & complexity ---
 /// C3 statistic (Schreiber & Schmitz 1997): mean of x[i+2l]*x[i+l]*x[i].
@@ -53,11 +58,18 @@ double c3(std::span<const double> xs, std::size_t lag) noexcept;
 double time_reversal_asymmetry(std::span<const double> xs, std::size_t lag) noexcept;
 /// Complexity-invariant distance estimate (CID-CE).
 double cid_ce(std::span<const double> xs, bool normalize) noexcept;
+/// Moment-reusing variant (the two-argument form delegates here); the
+/// moments are only read when `normalize` is true.
+double cid_ce(std::span<const double> xs, bool normalize, double mean,
+              double stddev) noexcept;
 /// Approximate entropy with embedding dimension m and tolerance r_frac * std.
 /// Series longer than 256 points are subsampled for O(n^2) cost control.
 double approximate_entropy(std::span<const double> xs, std::size_t m, double r_frac);
 /// Shannon entropy of a max_bins equal-width histogram.
 double binned_entropy(std::span<const double> xs, std::size_t max_bins);
+/// Extrema-reusing variant (the two-argument form delegates here).
+double binned_entropy(std::span<const double> xs, std::size_t max_bins,
+                      double min_value, double max_value);
 
 // --- distributional law ---
 /// Pearson correlation between the first-digit distribution of xs and the

@@ -1,5 +1,6 @@
 #include "features/feature_matrix.hpp"
 
+#include "features/series_profile.hpp"
 #include "tensor/ops.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -61,16 +62,22 @@ std::vector<std::string> feature_column_names(
 std::vector<double> extract_node_features(const tensor::Matrix& values) {
   util::StageTimer stage("features.extract");
   const std::size_t metrics = values.cols();
+  const std::size_t rows = values.rows();
   const std::size_t per_metric = features_per_metric();
   std::vector<double> features(metrics * per_metric, 0.0);
 
   // Column-major extraction: gather each metric's series once, then run the
-  // whole registry over it.  Metrics are independent -> parallel.
+  // grouped registry over it, writing features in place.  Metrics are
+  // independent -> parallel; each worker keeps a thread-local scratch so the
+  // gather/sort/FFT buffers are allocated once per thread, not per metric.
   util::parallel_for(0, metrics, [&](std::size_t m) {
-    const auto series = values.column(m);
-    const auto metric_features = compute_all_features(series);
-    std::copy(metric_features.begin(), metric_features.end(),
-              features.begin() + static_cast<std::ptrdiff_t>(m * per_metric));
+    thread_local FeatureScratch scratch;
+    scratch.column.resize(rows);
+    for (std::size_t t = 0; t < rows; ++t) scratch.column[t] = values(t, m);
+    compute_all_features(
+        scratch.column,
+        std::span<double>(features.data() + m * per_metric, per_metric),
+        scratch);
   });
   return features;
 }

@@ -37,26 +37,40 @@ void fft_radix2(std::vector<std::complex<double>>& data) {
   }
 }
 
-std::vector<double> power_spectrum(std::span<const double> xs) {
-  if (xs.empty()) return {0.0};
+void power_spectrum(std::span<const double> xs,
+                    std::vector<std::complex<double>>& fft_buffer,
+                    std::vector<double>& power) {
+  if (xs.empty()) {
+    power.assign(1, 0.0);
+    return;
+  }
   std::size_t padded = 1;
   while (padded < xs.size()) padded <<= 1;
 
   const double mean = tensor::mean(xs);
-  std::vector<std::complex<double>> buffer(padded, {0.0, 0.0});
-  for (std::size_t i = 0; i < xs.size(); ++i) buffer[i] = {xs[i] - mean, 0.0};
-  fft_radix2(buffer);
+  fft_buffer.assign(padded, {0.0, 0.0});
+  for (std::size_t i = 0; i < xs.size(); ++i) fft_buffer[i] = {xs[i] - mean, 0.0};
+  fft_radix2(fft_buffer);
 
-  std::vector<double> power(padded / 2 + 1);
+  power.resize(padded / 2 + 1);
   for (std::size_t k = 0; k < power.size(); ++k) {
-    power[k] = std::norm(buffer[k]);
+    power[k] = std::norm(fft_buffer[k]);
   }
+}
+
+std::vector<double> power_spectrum(std::span<const double> xs) {
+  std::vector<std::complex<double>> buffer;
+  std::vector<double> power;
+  power_spectrum(xs, buffer, power);
   return power;
 }
 
 SpectralSummary spectral_summary(std::span<const double> xs) {
+  return spectral_summary_from_power(power_spectrum(xs));
+}
+
+SpectralSummary spectral_summary_from_power(std::span<const double> power) {
   SpectralSummary summary;
-  const auto power = power_spectrum(xs);
   if (power.size() < 2) return summary;
 
   double total = 0.0;

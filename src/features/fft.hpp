@@ -16,6 +16,14 @@ void fft_radix2(std::vector<std::complex<double>>& data);
 /// Returns |X_k|^2 for k = 0 .. N/2 where N is xs.size() padded to 2^m.
 std::vector<double> power_spectrum(std::span<const double> xs);
 
+/// Scratch-reusing variant: fills `power` with the one-sided spectrum using
+/// `fft_buffer` as the transform workspace.  Both buffers are resized as
+/// needed and keep their capacity across calls, so repeated extraction
+/// (extract_node_features' per-thread scratch) does not allocate.
+void power_spectrum(std::span<const double> xs,
+                    std::vector<std::complex<double>>& fft_buffer,
+                    std::vector<double>& power);
+
 struct SpectralSummary {
   double total_power = 0.0;
   double centroid = 0.0;      // power-weighted mean normalized frequency
@@ -26,5 +34,8 @@ struct SpectralSummary {
 };
 
 SpectralSummary spectral_summary(std::span<const double> xs);
+
+/// Summary aggregates from an already-computed one-sided power spectrum.
+SpectralSummary spectral_summary_from_power(std::span<const double> power);
 
 }  // namespace prodigy::features

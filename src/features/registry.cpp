@@ -2,128 +2,242 @@
 
 #include "features/extractors.hpp"
 #include "features/fft.hpp"
+#include "features/series_profile.hpp"
 #include "tensor/stats.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace prodigy::features {
 
 namespace {
 
-std::vector<FeatureDef> build_registry() {
+double relative(std::size_t index, std::size_t n) noexcept {
+  return n == 0 ? 0.0 : static_cast<double>(index) / static_cast<double>(n);
+}
+
+struct GroupBuilder {
+  std::vector<FeatureGroup> groups;
   std::vector<FeatureDef> defs;
-  auto add = [&defs](std::string name, FeatureFn fn) {
-    defs.push_back({std::move(name), std::move(fn)});
-  };
 
-  // Descriptive statistics.
-  add("sum", [](auto xs) { return tensor::sum(xs); });
-  add("mean", [](auto xs) { return tensor::mean(xs); });
-  add("median", [](auto xs) { return tensor::median(xs); });
-  add("minimum", [](auto xs) { return tensor::min_value(xs); });
-  add("maximum", [](auto xs) { return tensor::max_value(xs); });
-  add("standard_deviation", [](auto xs) { return tensor::stddev(xs); });
-  add("variance", [](auto xs) { return tensor::variance(xs); });
-  add("skewness", [](auto xs) { return tensor::skewness(xs); });
-  add("kurtosis", [](auto xs) { return tensor::kurtosis(xs); });
-  add("range", [](auto xs) { return value_range(xs); });
-  add("interquartile_range", [](auto xs) { return interquartile_range(xs); });
-  add("variation_coefficient", [](auto xs) { return variation_coefficient(xs); });
-  add("root_mean_square", [](auto xs) { return root_mean_square(xs); });
-  add("abs_energy", [](auto xs) { return abs_energy(xs); });
-
-  for (const double q : {0.05, 0.1, 0.25, 0.75, 0.9, 0.95}) {
-    add("quantile_q" + std::to_string(static_cast<int>(q * 100)),
-        [q](auto xs) { return tensor::quantile(xs, q); });
+  void add(std::string group_name, std::vector<std::string> names,
+           std::function<void(const SeriesProfile&, double*)> fn) {
+    FeatureGroup group;
+    group.name = group_name;
+    group.first = defs.size();
+    group.count = names.size();
+    group.fn = std::move(fn);
+    for (auto& name : names) defs.push_back({std::move(name), group_name});
+    groups.push_back(std::move(group));
   }
+};
 
-  // Change statistics.
-  add("mean_abs_change", [](auto xs) { return mean_abs_change(xs); });
-  add("mean_change", [](auto xs) { return mean_change(xs); });
-  add("absolute_sum_of_changes", [](auto xs) { return absolute_sum_of_changes(xs); });
-  add("mean_second_derivative_central",
-      [](auto xs) { return mean_second_derivative_central(xs); });
+GroupBuilder build_groups() {
+  GroupBuilder b;
 
-  // Location of extrema.
-  add("first_location_of_maximum", [](auto xs) { return first_location_of_maximum(xs); });
-  add("last_location_of_maximum", [](auto xs) { return last_location_of_maximum(xs); });
-  add("first_location_of_minimum", [](auto xs) { return first_location_of_minimum(xs); });
-  add("last_location_of_minimum", [](auto xs) { return last_location_of_minimum(xs); });
+  // Descriptive statistics: moments, order statistics, energy.  One sorted
+  // copy serves median/IQR; mean/stddev are computed once in the profile.
+  b.add("descriptive",
+        {"sum", "mean", "median", "minimum", "maximum", "standard_deviation",
+         "variance", "skewness", "kurtosis", "range", "interquartile_range",
+         "variation_coefficient", "root_mean_square", "abs_energy"},
+        [](const SeriesProfile& p, double* out) {
+          const auto n = p.n;
+          out[0] = p.sum;
+          out[1] = p.mean;
+          out[2] = tensor::quantile_sorted(p.sorted, 0.5);
+          out[3] = p.min;
+          out[4] = p.max;
+          out[5] = p.stddev;
+          out[6] = p.variance;
+          out[7] = tensor::skewness(p.xs, p.mean, p.stddev);
+          out[8] = tensor::kurtosis(p.xs, p.mean, p.stddev);
+          out[9] = n == 0 ? 0.0 : p.max - p.min;
+          out[10] = n == 0 ? 0.0
+                           : tensor::quantile_sorted(p.sorted, 0.75) -
+                                 tensor::quantile_sorted(p.sorted, 0.25);
+          out[11] = variation_coefficient(p.mean, p.stddev);
+          out[12] = n == 0 ? 0.0
+                           : std::sqrt(p.abs_energy / static_cast<double>(n));
+          out[13] = p.abs_energy;
+        });
 
-  // Counts, strikes, crossings, peaks.
-  add("count_above_mean", [](auto xs) { return count_above_mean(xs); });
-  add("count_below_mean", [](auto xs) { return count_below_mean(xs); });
-  add("longest_strike_above_mean", [](auto xs) { return longest_strike_above_mean(xs); });
-  add("longest_strike_below_mean", [](auto xs) { return longest_strike_below_mean(xs); });
-  add("mean_crossing_rate", [](auto xs) { return mean_crossing_rate(xs); });
-  for (const std::size_t support : {1u, 3u, 5u}) {
-    add("number_peaks_support_" + std::to_string(support),
-        [support](auto xs) { return number_peaks(xs, support); });
-  }
-  for (const double r : {1.0, 2.0, 3.0}) {
-    add("ratio_beyond_" + std::to_string(static_cast<int>(r)) + "_sigma",
-        [r](auto xs) { return ratio_beyond_r_sigma(xs, r); });
-  }
-
-  // Autocorrelation structure.
-  for (const std::size_t lag : {1u, 2u, 5u, 10u, 20u}) {
-    add("autocorrelation_lag_" + std::to_string(lag),
-        [lag](auto xs) { return tensor::autocorrelation(xs, lag); });
-  }
-
-  // Nonlinearity / complexity.
-  for (const std::size_t lag : {1u, 2u, 3u}) {
-    add("c3_lag_" + std::to_string(lag), [lag](auto xs) { return c3(xs, lag); });
-  }
-  for (const std::size_t lag : {1u, 2u, 3u}) {
-    add("time_reversal_asymmetry_lag_" + std::to_string(lag),
-        [lag](auto xs) { return time_reversal_asymmetry(xs, lag); });
-  }
-  add("cid_ce_normalized", [](auto xs) { return cid_ce(xs, true); });
-  add("cid_ce", [](auto xs) { return cid_ce(xs, false); });
-  add("approximate_entropy_m2_r02",
-      [](auto xs) { return approximate_entropy(xs, 2, 0.2); });
-  add("binned_entropy_10", [](auto xs) { return binned_entropy(xs, 10); });
-  add("benford_correlation", [](auto xs) { return benford_correlation(xs); });
-
-  // Linear trend.
-  add("linear_trend_slope", [](auto xs) { return linear_trend(xs).slope; });
-  add("linear_trend_intercept", [](auto xs) { return linear_trend(xs).intercept; });
-  add("linear_trend_r_squared", [](auto xs) { return linear_trend(xs).r_squared; });
-
-  // Spectral (power spectral density aggregates).
-  add("spectral_total_power", [](auto xs) { return spectral_summary(xs).total_power; });
-  add("spectral_centroid", [](auto xs) { return spectral_summary(xs).centroid; });
-  add("spectral_spread", [](auto xs) { return spectral_summary(xs).spread; });
-  add("spectral_entropy", [](auto xs) { return spectral_summary(xs).entropy; });
-  add("spectral_peak_frequency",
-      [](auto xs) { return spectral_summary(xs).peak_frequency; });
-  for (int band = 0; band < 4; ++band) {
-    add("spectral_band_power_" + std::to_string(band), [band](auto xs) {
-      return spectral_summary(xs).band_power[band];
+  {
+    static constexpr double kQuantiles[] = {0.05, 0.1, 0.25, 0.75, 0.9, 0.95};
+    std::vector<std::string> names;
+    for (const double q : kQuantiles) {
+      names.push_back("quantile_q" + std::to_string(static_cast<int>(q * 100)));
+    }
+    b.add("quantiles", std::move(names), [](const SeriesProfile& p, double* out) {
+      for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+        out[i] = tensor::quantile_sorted(p.sorted, kQuantiles[i]);
+      }
     });
   }
 
-  return defs;
+  // Change statistics; |dx| is summed once in the profile.
+  b.add("changes",
+        {"mean_abs_change", "mean_change", "absolute_sum_of_changes",
+         "mean_second_derivative_central"},
+        [](const SeriesProfile& p, double* out) {
+          const auto n = p.n;
+          out[0] = n < 2 ? 0.0
+                         : p.abs_change_sum / static_cast<double>(n - 1);
+          out[1] = n < 2 ? 0.0
+                         : (p.xs.back() - p.xs.front()) /
+                               static_cast<double>(n - 1);
+          out[2] = n < 2 ? 0.0 : p.abs_change_sum;
+          out[3] = mean_second_derivative_central(p.xs);
+        });
+
+  b.add("extrema_location",
+        {"first_location_of_maximum", "last_location_of_maximum",
+         "first_location_of_minimum", "last_location_of_minimum"},
+        [](const SeriesProfile& p, double* out) {
+          out[0] = relative(p.first_max, p.n);
+          out[1] = relative(p.last_max, p.n);
+          out[2] = relative(p.first_min, p.n);
+          out[3] = relative(p.last_min, p.n);
+        });
+
+  // Counts, strikes, crossings relative to the mean: one profile pass.
+  b.add("mean_runs",
+        {"count_above_mean", "count_below_mean", "longest_strike_above_mean",
+         "longest_strike_below_mean", "mean_crossing_rate"},
+        [](const SeriesProfile& p, double* out) {
+          const double n = static_cast<double>(p.n);
+          out[0] = p.n == 0 ? 0.0 : static_cast<double>(p.count_above) / n;
+          out[1] = p.n == 0 ? 0.0 : static_cast<double>(p.count_below) / n;
+          out[2] = p.n == 0 ? 0.0 : static_cast<double>(p.longest_above) / n;
+          out[3] = p.n == 0 ? 0.0 : static_cast<double>(p.longest_below) / n;
+          out[4] = p.n < 2 ? 0.0
+                           : static_cast<double>(p.crossings) / (n - 1.0);
+        });
+
+  {
+    static constexpr std::size_t kSupports[] = {1, 3, 5};
+    std::vector<std::string> names;
+    for (const auto support : kSupports) {
+      names.push_back("number_peaks_support_" + std::to_string(support));
+    }
+    b.add("peaks", std::move(names), [](const SeriesProfile& p, double* out) {
+      for (std::size_t i = 0; i < std::size(kSupports); ++i) {
+        out[i] = number_peaks(p.xs, kSupports[i]);
+      }
+    });
+  }
+
+  {
+    static constexpr double kSigmas[] = {1.0, 2.0, 3.0};
+    std::vector<std::string> names;
+    for (const double r : kSigmas) {
+      names.push_back("ratio_beyond_" + std::to_string(static_cast<int>(r)) +
+                      "_sigma");
+    }
+    b.add("sigma_ratios", std::move(names),
+          [](const SeriesProfile& p, double* out) {
+            for (std::size_t i = 0; i < std::size(kSigmas); ++i) {
+              out[i] = ratio_beyond_r_sigma(p.xs, kSigmas[i], p.mean, p.stddev);
+            }
+          });
+  }
+
+  {
+    static constexpr std::size_t kLags[] = {1, 2, 5, 10, 20};
+    std::vector<std::string> names;
+    for (const auto lag : kLags) {
+      names.push_back("autocorrelation_lag_" + std::to_string(lag));
+    }
+    b.add("autocorrelation", std::move(names),
+          [](const SeriesProfile& p, double* out) {
+            for (std::size_t i = 0; i < std::size(kLags); ++i) {
+              out[i] =
+                  tensor::autocorrelation(p.xs, kLags[i], p.mean, p.variance);
+            }
+          });
+  }
+
+  b.add("nonlinearity",
+        {"c3_lag_1", "c3_lag_2", "c3_lag_3", "time_reversal_asymmetry_lag_1",
+         "time_reversal_asymmetry_lag_2", "time_reversal_asymmetry_lag_3",
+         "cid_ce_normalized", "cid_ce"},
+        [](const SeriesProfile& p, double* out) {
+          for (std::size_t lag = 1; lag <= 3; ++lag) {
+            out[lag - 1] = c3(p.xs, lag);
+            out[lag + 2] = time_reversal_asymmetry(p.xs, lag);
+          }
+          out[6] = cid_ce(p.xs, true, p.mean, p.stddev);
+          out[7] = cid_ce(p.xs, false);
+        });
+
+  b.add("entropy",
+        {"approximate_entropy_m2_r02", "binned_entropy_10",
+         "benford_correlation"},
+        [](const SeriesProfile& p, double* out) {
+          out[0] = approximate_entropy(p.xs, 2, 0.2);
+          out[1] = p.n == 0 ? 0.0 : binned_entropy(p.xs, 10, p.min, p.max);
+          out[2] = benford_correlation(p.xs);
+        });
+
+  b.add("linear_trend",
+        {"linear_trend_slope", "linear_trend_intercept",
+         "linear_trend_r_squared"},
+        [](const SeriesProfile& p, double* out) {
+          out[0] = p.trend.slope;
+          out[1] = p.trend.intercept;
+          out[2] = p.trend.r_squared;
+        });
+
+  b.add("spectral",
+        {"spectral_total_power", "spectral_centroid", "spectral_spread",
+         "spectral_entropy", "spectral_peak_frequency",
+         "spectral_band_power_0", "spectral_band_power_1",
+         "spectral_band_power_2", "spectral_band_power_3"},
+        [](const SeriesProfile& p, double* out) {
+          out[0] = p.spectral.total_power;
+          out[1] = p.spectral.centroid;
+          out[2] = p.spectral.spread;
+          out[3] = p.spectral.entropy;
+          out[4] = p.spectral.peak_frequency;
+          for (int band = 0; band < 4; ++band) {
+            out[5 + band] = p.spectral.band_power[band];
+          }
+        });
+
+  return b;
+}
+
+const GroupBuilder& builder() {
+  static const GroupBuilder instance = build_groups();
+  return instance;
 }
 
 }  // namespace
 
-const std::vector<FeatureDef>& feature_registry() {
-  static const std::vector<FeatureDef> registry = build_registry();
-  return registry;
-}
+const std::vector<FeatureDef>& feature_registry() { return builder().defs; }
+
+const std::vector<FeatureGroup>& feature_groups() { return builder().groups; }
 
 std::size_t features_per_metric() { return feature_registry().size(); }
 
-std::vector<double> compute_all_features(std::span<const double> series) {
-  const auto& registry = feature_registry();
-  std::vector<double> values;
-  values.reserve(registry.size());
-  for (const auto& def : registry) {
-    const double value = def.fn(series);
-    values.push_back(std::isfinite(value) ? value : 0.0);
+void compute_all_features(std::span<const double> series, std::span<double> out,
+                          FeatureScratch& scratch) {
+  if (out.size() != features_per_metric()) {
+    throw std::invalid_argument("compute_all_features: bad output size");
   }
+  const SeriesProfile profile = compute_series_profile(series, scratch);
+  for (const auto& group : feature_groups()) {
+    group.fn(profile, out.data() + group.first);
+  }
+  for (double& value : out) {
+    if (!std::isfinite(value)) value = 0.0;
+  }
+}
+
+std::vector<double> compute_all_features(std::span<const double> series) {
+  std::vector<double> values(features_per_metric(), 0.0);
+  FeatureScratch scratch;
+  compute_all_features(series, values, scratch);
   return values;
 }
 

@@ -1,0 +1,89 @@
+#include "features/series_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodigy::features {
+
+SeriesProfile compute_series_profile(std::span<const double> xs,
+                                     FeatureScratch& scratch) {
+  SeriesProfile p;
+  p.xs = xs;
+  p.n = xs.size();
+  const std::size_t n = p.n;
+
+  // Pass 1: sum, energy, extrema with locations.  Each accumulator advances
+  // in index order, matching its standalone counterpart exactly.
+  for (double x : xs) {
+    p.sum += x;
+    p.abs_energy += x * x;
+  }
+  if (n > 0) {
+    p.mean = p.sum / static_cast<double>(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      if (xs[i] > xs[p.first_max]) p.first_max = i;
+      if (xs[i] < xs[p.first_min]) p.first_min = i;
+      // The "last" updates are negated comparisons on purpose: for finite
+      // data they mean >= / <= (latest tie wins), but when either side is
+      // NaN they still fire, matching the standalone extractors' tie rule
+      // `!better(xs[last], xs[i])` bit for bit on NaN-bearing input.
+      if (!(xs[p.last_max] > xs[i])) p.last_max = i;
+      if (!(xs[p.last_min] < xs[i])) p.last_min = i;
+    }
+    p.min = xs[p.first_min];
+    p.max = xs[p.first_max];
+  }
+
+  // Pass 2 (needs the mean): variance and the mean-relative run statistics.
+  if (n >= 2) {
+    double acc = 0.0;
+    for (double x : xs) {
+      const double d = x - p.mean;
+      acc += d * d;
+    }
+    p.variance = acc / static_cast<double>(n);
+  }
+  p.stddev = std::sqrt(p.variance);
+  {
+    std::size_t run_above = 0, run_below = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = xs[i];
+      if (x > p.mean) {
+        ++p.count_above;
+        ++run_above;
+        p.longest_above = std::max(p.longest_above, run_above);
+      } else {
+        run_above = 0;
+      }
+      if (x < p.mean) {
+        ++p.count_below;
+        ++run_below;
+        p.longest_below = std::max(p.longest_below, run_below);
+      } else {
+        run_below = 0;
+      }
+      if (i > 0 && ((xs[i - 1] > p.mean) != (x > p.mean))) ++p.crossings;
+    }
+  }
+
+  // Pass 3: successive differences.
+  if (n >= 2) {
+    for (std::size_t i = 1; i < n; ++i) {
+      p.abs_change_sum += std::abs(xs[i] - xs[i - 1]);
+    }
+  }
+
+  // One sort (order statistics), one FFT (spectral family), one fit (trend).
+  scratch.sorted.assign(xs.begin(), xs.end());
+  std::sort(scratch.sorted.begin(), scratch.sorted.end());
+  p.sorted = scratch.sorted;
+
+  power_spectrum(xs, scratch.fft, scratch.power);
+  p.power = scratch.power;
+  p.spectral = spectral_summary_from_power(scratch.power);
+
+  p.trend = linear_trend(xs);
+  return p;
+}
+
+}  // namespace prodigy::features

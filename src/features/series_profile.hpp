@@ -1,0 +1,79 @@
+// The shared-computation substrate of the feature-extraction engine.
+//
+// The registry's ~67 features per metric overlap heavily in what they need
+// from a series: one FFT powers nine spectral features, one linear fit
+// powers three trend features, one sorted copy powers eight order
+// statistics, and ~20 extractors want the same mean/stddev.  A
+// SeriesProfile computes every shared intermediate exactly once per series;
+// the grouped extractors in registry.cpp then read from it.  Each shared
+// quantity is accumulated with the same loop structure and operation order
+// as the original standalone extractor, so grouped features are
+// bit-identical to the per-feature implementations (guarded by
+// tests/feature_parity_test.cpp).
+#pragma once
+
+#include "features/extractors.hpp"
+#include "features/fft.hpp"
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace prodigy::features {
+
+/// Reusable per-thread buffers for profile construction.  Hot callers
+/// (extract_node_features) keep one per worker thread so a window's worth
+/// of metrics is extracted without per-series allocations.
+struct FeatureScratch {
+  std::vector<double> column;               // gathered metric series
+  std::vector<double> sorted;               // sorted copy of the series
+  std::vector<std::complex<double>> fft;    // FFT work buffer
+  std::vector<double> power;                // one-sided power spectrum
+};
+
+/// Everything the grouped extractors share, computed in a handful of passes
+/// (plus one sort and one FFT).  `xs`, `sorted` and `power` are views: `xs`
+/// into the caller's series, `sorted`/`power` into the FeatureScratch used
+/// to build the profile, so the profile is valid only while both outlive it.
+struct SeriesProfile {
+  std::span<const double> xs;
+  std::size_t n = 0;
+
+  // Moments (same formulas as tensor::sum/mean/variance/stddev).
+  double sum = 0.0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double abs_energy = 0.0;  // sum of squares
+
+  // Extrema and their first/last locations (ties kept like the
+  // first_last_extreme helper in extractors.cpp: first strict, last loose).
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t first_max = 0;
+  std::size_t last_max = 0;
+  std::size_t first_min = 0;
+  std::size_t last_min = 0;
+
+  // Successive-difference statistics.
+  double abs_change_sum = 0.0;  // sum |x[i] - x[i-1]| (n >= 2, else 0)
+
+  // Mean-relative run statistics, one pass.
+  std::size_t count_above = 0;
+  std::size_t count_below = 0;
+  std::size_t longest_above = 0;
+  std::size_t longest_below = 0;
+  std::size_t crossings = 0;
+
+  std::span<const double> sorted;  // ascending copy of xs
+  std::span<const double> power;   // one-sided power spectrum of xs
+  SpectralSummary spectral;
+  LinearTrendResult trend;
+};
+
+/// Builds the profile for one series, reusing the scratch buffers.  The
+/// returned profile's spans point into `xs` and `scratch`.
+SeriesProfile compute_series_profile(std::span<const double> xs,
+                                     FeatureScratch& scratch);
+
+}  // namespace prodigy::features

@@ -31,9 +31,11 @@ void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
     for (std::size_t r = r0; r < r1; ++r) {
       const double* a_row = a.data() + r * inner;
       double* c_row = c.data() + r * n;
+      // No zero-skip: dense weights make the branch useless, and skipping a
+      // zero a_val would silently absorb NaN/Inf from B (0 * NaN must stay
+      // NaN so bad activations propagate instead of vanishing).
       for (std::size_t k = kk; k < k_hi; ++k) {
         const double a_val = a_row[k];
-        if (a_val == 0.0) continue;
         const double* b_row = b.data() + k * n;
         for (std::size_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
       }
@@ -86,9 +88,9 @@ Matrix matmul_transposed_a(const Matrix& a, const Matrix& b) {
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const double* a_row = a.data() + k * a.cols();
     const double* b_row = b.data() + k * b.cols();
+    // No zero-skip, for the same NaN-propagation reason as gemm_rows.
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double a_val = a_row[i];
-      if (a_val == 0.0) continue;
       double* c_row = c.data() + i * b.cols();
       for (std::size_t j = 0; j < b.cols(); ++j) c_row[j] += a_val * b_row[j];
     }

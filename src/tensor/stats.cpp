@@ -16,15 +16,18 @@ double mean(std::span<const double> xs) noexcept {
   return xs.empty() ? 0.0 : sum(xs) / static_cast<double>(xs.size());
 }
 
-double variance(std::span<const double> xs) noexcept {
+double variance(std::span<const double> xs, double mean) noexcept {
   if (xs.size() < 2) return 0.0;
-  const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) {
-    const double d = x - m;
+    const double d = x - mean;
     acc += d * d;
   }
   return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  return variance(xs, mean(xs));
 }
 
 double stddev(std::span<const double> xs) noexcept { return std::sqrt(variance(xs)); }
@@ -58,30 +61,34 @@ double quantile(std::span<const double> xs, double q) {
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
-double skewness(std::span<const double> xs) noexcept {
+double skewness(std::span<const double> xs, double mean, double stddev) noexcept {
   if (xs.size() < 3) return 0.0;
-  const double m = mean(xs);
-  const double sd = stddev(xs);
-  if (sd == 0.0) return 0.0;
+  if (stddev == 0.0) return 0.0;
   double acc = 0.0;
   for (double x : xs) {
-    const double z = (x - m) / sd;
+    const double z = (x - mean) / stddev;
     acc += z * z * z;
   }
   return acc / static_cast<double>(xs.size());
 }
 
-double kurtosis(std::span<const double> xs) noexcept {
+double skewness(std::span<const double> xs) noexcept {
+  return skewness(xs, mean(xs), stddev(xs));
+}
+
+double kurtosis(std::span<const double> xs, double mean, double stddev) noexcept {
   if (xs.size() < 4) return 0.0;
-  const double m = mean(xs);
-  const double sd = stddev(xs);
-  if (sd == 0.0) return 0.0;
+  if (stddev == 0.0) return 0.0;
   double acc = 0.0;
   for (double x : xs) {
-    const double z = (x - m) / sd;
+    const double z = (x - mean) / stddev;
     acc += z * z * z * z;
   }
   return acc / static_cast<double>(xs.size()) - 3.0;
+}
+
+double kurtosis(std::span<const double> xs) noexcept {
+  return kurtosis(xs, mean(xs), stddev(xs));
 }
 
 double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
@@ -103,16 +110,19 @@ double pearson_correlation(std::span<const double> xs, std::span<const double> y
   return sxy / std::sqrt(sxx * syy);
 }
 
-double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
+double autocorrelation(std::span<const double> xs, std::size_t lag, double mean,
+                       double variance) noexcept {
   if (xs.size() <= lag + 1) return 0.0;
-  const double m = mean(xs);
-  const double var = variance(xs);
-  if (var == 0.0) return 0.0;
+  if (variance == 0.0) return 0.0;
   double acc = 0.0;
   for (std::size_t i = 0; i + lag < xs.size(); ++i) {
-    acc += (xs[i] - m) * (xs[i + lag] - m);
+    acc += (xs[i] - mean) * (xs[i + lag] - mean);
   }
-  return acc / (static_cast<double>(xs.size() - lag) * var);
+  return acc / (static_cast<double>(xs.size() - lag) * variance);
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) noexcept {
+  return autocorrelation(xs, lag, mean(xs), variance(xs));
 }
 
 }  // namespace prodigy::tensor

@@ -22,6 +22,15 @@ double quantile_sorted(std::span<const double> sorted, double q) noexcept;
 double skewness(std::span<const double> xs) noexcept;
 /// Excess kurtosis (normal -> 0).
 double kurtosis(std::span<const double> xs) noexcept;
+
+// Moment-reusing variants: identical arithmetic to the single-argument
+// forms (which delegate here), for callers that already hold the moments
+// (the SeriesProfile feature engine computes mean/stddev once per series).
+double variance(std::span<const double> xs, double mean) noexcept;
+double skewness(std::span<const double> xs, double mean, double stddev) noexcept;
+double kurtosis(std::span<const double> xs, double mean, double stddev) noexcept;
+double autocorrelation(std::span<const double> xs, std::size_t lag, double mean,
+                       double variance) noexcept;
 /// Pearson correlation; returns 0 when either side is constant.
 double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
 /// Autocorrelation at the given lag; 0 when undefined.

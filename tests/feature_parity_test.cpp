@@ -1,0 +1,275 @@
+// Golden parity test for the SeriesProfile grouped-extraction engine.
+//
+// The registry used to evaluate one closure per feature, each recomputing
+// its own mean/stddev/sort/FFT/trend fit.  The grouped engine shares those
+// intermediates through a SeriesProfile.  This test keeps the historical
+// one-closure-per-feature registry alive as a reference oracle and asserts
+// that the rewrite changed *nothing observable*: the flat feature-name
+// order is identical, and every value matches to 1e-12 relative across
+// random, constant, spiky, and NaN-bearing series (plus empty/short
+// degenerate inputs).
+#include "features/extractors.hpp"
+#include "features/feature_matrix.hpp"
+#include "features/fft.hpp"
+#include "features/registry.hpp"
+#include "features/series_profile.hpp"
+#include "tensor/stats.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace prodigy::features {
+namespace {
+
+using OracleFn = std::function<double(std::span<const double>)>;
+
+struct OracleDef {
+  std::string name;
+  OracleFn fn;
+};
+
+/// The pre-rewrite registry, verbatim: one independent closure per feature,
+/// each calling the standalone extractors that recompute every intermediate.
+std::vector<OracleDef> build_oracle_registry() {
+  std::vector<OracleDef> defs;
+  auto add = [&defs](std::string name, OracleFn fn) {
+    defs.push_back({std::move(name), std::move(fn)});
+  };
+
+  add("sum", [](auto xs) { return tensor::sum(xs); });
+  add("mean", [](auto xs) { return tensor::mean(xs); });
+  add("median", [](auto xs) { return tensor::median(xs); });
+  add("minimum", [](auto xs) { return tensor::min_value(xs); });
+  add("maximum", [](auto xs) { return tensor::max_value(xs); });
+  add("standard_deviation", [](auto xs) { return tensor::stddev(xs); });
+  add("variance", [](auto xs) { return tensor::variance(xs); });
+  add("skewness", [](auto xs) { return tensor::skewness(xs); });
+  add("kurtosis", [](auto xs) { return tensor::kurtosis(xs); });
+  add("range", [](auto xs) { return value_range(xs); });
+  add("interquartile_range", [](auto xs) { return interquartile_range(xs); });
+  add("variation_coefficient", [](auto xs) { return variation_coefficient(xs); });
+  add("root_mean_square", [](auto xs) { return root_mean_square(xs); });
+  add("abs_energy", [](auto xs) { return abs_energy(xs); });
+
+  for (const double q : {0.05, 0.1, 0.25, 0.75, 0.9, 0.95}) {
+    add("quantile_q" + std::to_string(static_cast<int>(q * 100)),
+        [q](auto xs) { return tensor::quantile(xs, q); });
+  }
+
+  add("mean_abs_change", [](auto xs) { return mean_abs_change(xs); });
+  add("mean_change", [](auto xs) { return mean_change(xs); });
+  add("absolute_sum_of_changes", [](auto xs) { return absolute_sum_of_changes(xs); });
+  add("mean_second_derivative_central",
+      [](auto xs) { return mean_second_derivative_central(xs); });
+
+  add("first_location_of_maximum", [](auto xs) { return first_location_of_maximum(xs); });
+  add("last_location_of_maximum", [](auto xs) { return last_location_of_maximum(xs); });
+  add("first_location_of_minimum", [](auto xs) { return first_location_of_minimum(xs); });
+  add("last_location_of_minimum", [](auto xs) { return last_location_of_minimum(xs); });
+
+  add("count_above_mean", [](auto xs) { return count_above_mean(xs); });
+  add("count_below_mean", [](auto xs) { return count_below_mean(xs); });
+  add("longest_strike_above_mean", [](auto xs) { return longest_strike_above_mean(xs); });
+  add("longest_strike_below_mean", [](auto xs) { return longest_strike_below_mean(xs); });
+  add("mean_crossing_rate", [](auto xs) { return mean_crossing_rate(xs); });
+  for (const std::size_t support : {1u, 3u, 5u}) {
+    add("number_peaks_support_" + std::to_string(support),
+        [support](auto xs) { return number_peaks(xs, support); });
+  }
+  for (const double r : {1.0, 2.0, 3.0}) {
+    add("ratio_beyond_" + std::to_string(static_cast<int>(r)) + "_sigma",
+        [r](auto xs) { return ratio_beyond_r_sigma(xs, r); });
+  }
+
+  for (const std::size_t lag : {1u, 2u, 5u, 10u, 20u}) {
+    add("autocorrelation_lag_" + std::to_string(lag),
+        [lag](auto xs) { return tensor::autocorrelation(xs, lag); });
+  }
+
+  for (const std::size_t lag : {1u, 2u, 3u}) {
+    add("c3_lag_" + std::to_string(lag), [lag](auto xs) { return c3(xs, lag); });
+  }
+  for (const std::size_t lag : {1u, 2u, 3u}) {
+    add("time_reversal_asymmetry_lag_" + std::to_string(lag),
+        [lag](auto xs) { return time_reversal_asymmetry(xs, lag); });
+  }
+  add("cid_ce_normalized", [](auto xs) { return cid_ce(xs, true); });
+  add("cid_ce", [](auto xs) { return cid_ce(xs, false); });
+  add("approximate_entropy_m2_r02",
+      [](auto xs) { return approximate_entropy(xs, 2, 0.2); });
+  add("binned_entropy_10", [](auto xs) { return binned_entropy(xs, 10); });
+  add("benford_correlation", [](auto xs) { return benford_correlation(xs); });
+
+  add("linear_trend_slope", [](auto xs) { return linear_trend(xs).slope; });
+  add("linear_trend_intercept", [](auto xs) { return linear_trend(xs).intercept; });
+  add("linear_trend_r_squared", [](auto xs) { return linear_trend(xs).r_squared; });
+
+  add("spectral_total_power", [](auto xs) { return spectral_summary(xs).total_power; });
+  add("spectral_centroid", [](auto xs) { return spectral_summary(xs).centroid; });
+  add("spectral_spread", [](auto xs) { return spectral_summary(xs).spread; });
+  add("spectral_entropy", [](auto xs) { return spectral_summary(xs).entropy; });
+  add("spectral_peak_frequency",
+      [](auto xs) { return spectral_summary(xs).peak_frequency; });
+  for (int band = 0; band < 4; ++band) {
+    add("spectral_band_power_" + std::to_string(band), [band](auto xs) {
+      return spectral_summary(xs).band_power[band];
+    });
+  }
+
+  return defs;
+}
+
+const std::vector<OracleDef>& oracle_registry() {
+  static const std::vector<OracleDef> registry = build_oracle_registry();
+  return registry;
+}
+
+/// The pre-rewrite compute_all_features: per-feature evaluation with the
+/// same non-finite -> 0.0 clamp.
+std::vector<double> oracle_all_features(std::span<const double> series) {
+  std::vector<double> values;
+  values.reserve(oracle_registry().size());
+  for (const auto& def : oracle_registry()) {
+    const double value = def.fn(series);
+    values.push_back(std::isfinite(value) ? value : 0.0);
+  }
+  return values;
+}
+
+std::vector<double> series_random(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.gaussian(5.0, 2.0);
+  return xs;
+}
+
+std::vector<double> series_constant(std::size_t n, double value) {
+  return std::vector<double>(n, value);
+}
+
+std::vector<double> series_spiky(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  for (auto& x : xs) {
+    x = rng.bernoulli(0.04) ? rng.uniform(50.0, 200.0) : rng.uniform(0.0, 1.0);
+  }
+  return xs;
+}
+
+std::vector<double> series_with_nans(std::size_t n, std::uint64_t seed) {
+  auto xs = series_random(n, seed);
+  for (std::size_t i = 0; i < n; i += 17) {
+    xs[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+  xs[n / 2] = std::numeric_limits<double>::infinity();
+  return xs;
+}
+
+void expect_parity(std::span<const double> series, const std::string& label) {
+  const auto expected = oracle_all_features(series);
+  const auto actual = compute_all_features(series);
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const double tol = 1e-12 * std::max(1.0, std::abs(expected[i]));
+    EXPECT_NEAR(actual[i], expected[i], tol)
+        << label << ": feature " << feature_registry()[i].name;
+  }
+}
+
+TEST(FeatureParityTest, RegistryNamesAndOrderUnchanged) {
+  const auto& oracle = oracle_registry();
+  const auto& registry = feature_registry();
+  ASSERT_EQ(registry.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(registry[i].name, oracle[i].name) << "at index " << i;
+  }
+}
+
+TEST(FeatureParityTest, GroupsTileTheRegistryInOrder) {
+  std::size_t next = 0;
+  for (const auto& group : feature_groups()) {
+    EXPECT_EQ(group.first, next) << "group " << group.name;
+    EXPECT_GT(group.count, 0u) << "group " << group.name;
+    for (std::size_t i = 0; i < group.count; ++i) {
+      EXPECT_EQ(feature_registry()[group.first + i].group, group.name);
+    }
+    next = group.first + group.count;
+  }
+  EXPECT_EQ(next, features_per_metric());
+}
+
+TEST(FeatureParityTest, ColumnNamesUnchanged) {
+  const std::vector<std::string> metrics{"cpu::user", "mem::free"};
+  const auto names = feature_column_names(metrics);
+  ASSERT_EQ(names.size(), 2 * oracle_registry().size());
+  for (std::size_t m = 0; m < metrics.size(); ++m) {
+    for (std::size_t i = 0; i < oracle_registry().size(); ++i) {
+      EXPECT_EQ(names[m * oracle_registry().size() + i],
+                metrics[m] + "::" + oracle_registry()[i].name);
+    }
+  }
+}
+
+TEST(FeatureParityTest, RandomSeries) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    expect_parity(series_random(1024, seed), "random/seed" + std::to_string(seed));
+    expect_parity(series_random(193, seed), "random_odd/seed" + std::to_string(seed));
+  }
+}
+
+TEST(FeatureParityTest, ConstantSeries) {
+  expect_parity(series_constant(256, 0.0), "constant_zero");
+  expect_parity(series_constant(256, 3.25), "constant");
+  expect_parity(series_constant(300, 1e12), "constant_huge");
+  expect_parity(series_constant(1, 7.0), "single_sample");
+}
+
+TEST(FeatureParityTest, SpikySeries) {
+  for (const std::uint64_t seed : {11u, 12u}) {
+    expect_parity(series_spiky(1024, seed), "spiky/seed" + std::to_string(seed));
+  }
+}
+
+TEST(FeatureParityTest, NaNBearingSeries) {
+  // Raw (pre-preprocessing) telemetry can carry NaN/Inf; both engines must
+  // degrade identically (non-finite outputs clamp to 0 on both paths).
+  expect_parity(series_with_nans(512, 21), "nan_bearing");
+}
+
+TEST(FeatureParityTest, DegenerateSeries) {
+  expect_parity(std::vector<double>{}, "empty");
+  expect_parity(std::vector<double>{4.0, -2.0}, "two_samples");
+  expect_parity(std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}, "five_samples");
+}
+
+TEST(FeatureParityTest, ScratchReuseIsStateless) {
+  // One scratch across different series/lengths must not leak state.
+  FeatureScratch scratch;
+  std::vector<double> out(features_per_metric());
+  const auto long_series = series_random(2048, 31);
+  const auto short_series = series_random(64, 32);
+  compute_all_features(long_series, out, scratch);
+  compute_all_features(short_series, out, scratch);
+  const auto fresh = compute_all_features(short_series);
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], fresh[i]) << feature_registry()[i].name;
+  }
+}
+
+TEST(FeatureParityTest, RejectsWrongOutputSize) {
+  FeatureScratch scratch;
+  std::vector<double> out(features_per_metric() + 1);
+  const auto xs = series_random(32, 5);
+  EXPECT_THROW(compute_all_features(xs, out, scratch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prodigy::features

@@ -174,6 +174,47 @@ TEST(ProdigyDetectorTest, UnsupervisedFitOnCleanDataMatchesHealthyFit) {
   EXPECT_EQ(report.final_training_size, 200u);
 }
 
+TEST(ProdigyDetectorTest, UnsupervisedFitRestoresEpochsOnThrow) {
+  // Regression: fit_unsupervised temporarily shrinks config_.train.epochs for
+  // the screening rounds.  A fit that threw mid-loop used to leave the
+  // detector stuck at the screening budget, so every later supervised fit
+  // silently undertrained.  Forcing an input_dim mismatch makes the first
+  // screening fit throw.
+  auto config = fast_config();
+  auto [X, y] = testing::blob_dataset(64, 0, 6, 0.0, 30);
+  config.vae.input_dim = X.cols() + 1;  // fit_healthy will reject the data
+  ProdigyDetector detector(config);
+  EXPECT_THROW(detector.fit_unsupervised(X, 0.08, 2), std::invalid_argument);
+  EXPECT_EQ(detector.config().train.epochs, 150u);
+}
+
+TEST(ProdigyDetectorTest, LoadedDetectorRefitsWithPersistedArchitecture) {
+  // Regression: load() used to leave config_.vae at its defaults, so a
+  // refit on a loaded detector would silently swap in the default
+  // architecture (latent 8, hidden {64, 32}) instead of the persisted one.
+  auto [X, y] = testing::blob_dataset(120, 0, 6, 0.0, 31);
+  ProdigyDetector detector(fast_config());
+  detector.fit_healthy(X);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_detector_refit.bin").string();
+  {
+    util::BinaryWriter writer(path);
+    detector.save(writer);
+  }
+  util::BinaryReader reader(path);
+  ProdigyDetector loaded = ProdigyDetector::load(reader);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.config().vae.latent_dim, 3u);
+  EXPECT_EQ(loaded.config().vae.input_dim, X.cols());
+
+  loaded.fit_healthy(X);  // must train the persisted architecture, not defaults
+  EXPECT_EQ(loaded.vae().config().latent_dim, 3u);
+  EXPECT_EQ(loaded.vae().config().input_dim, X.cols());
+  EXPECT_EQ(loaded.vae().config().encoder_hidden, (std::vector<std::size_t>{16, 8}));
+}
+
 TEST(ProdigyDetectorTest, NameIsProdigy) {
   EXPECT_EQ(ProdigyDetector().name(), "Prodigy");
 }

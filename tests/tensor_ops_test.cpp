@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace prodigy::tensor {
 namespace {
@@ -66,6 +67,32 @@ TEST(OpsTest, TransposedVariantsAgree) {
   const Matrix b = random_matrix(11, 13, 6);
   expect_near(matmul_transposed_b(a, transpose(b)), matmul(a, b));
   expect_near(matmul_transposed_a(transpose(a), b), matmul(a, b));
+}
+
+TEST(OpsTest, MatmulPropagatesNaNThroughZeroWeights) {
+  // Regression: gemm_rows used to skip a==0 terms, so a zero weight silently
+  // absorbed a NaN/Inf activation (0 * NaN must stay NaN per IEEE 754).  A
+  // detector scoring a corrupted window would then report a clean-looking
+  // finite error instead of surfacing the corruption.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix a{{0.0, 0.0}, {1.0, 0.0}};
+  Matrix b{{nan, 2.0}, {3.0, inf}};
+  const Matrix c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));  // 0*NaN + 0*3
+  EXPECT_TRUE(std::isnan(c(0, 1)));  // 0*2 + 0*Inf
+  EXPECT_TRUE(std::isnan(c(1, 0)));  // 1*NaN + 0*3
+  EXPECT_TRUE(std::isnan(c(1, 1)));  // 1*2 + 0*Inf -> NaN (0*Inf)
+}
+
+TEST(OpsTest, MatmulTransposedAPropagatesNaNThroughZeroWeights) {
+  // Same regression on the backward-pass kernel.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Matrix a{{0.0}, {0.0}};        // a^T is 1x2, all zero
+  Matrix b{{nan, 1.0}, {2.0, 3.0}};
+  const Matrix c = matmul_transposed_a(a, b);
+  EXPECT_TRUE(std::isnan(c(0, 0)));      // 0*NaN + 0*2
+  EXPECT_DOUBLE_EQ(c(0, 1), 0.0);        // 0*1 + 0*3 stays finite
 }
 
 TEST(OpsTest, TransposeRoundTrip) {
