@@ -274,7 +274,10 @@ double approximate_entropy(std::span<const double> xs, std::size_t m, double r_f
       if (!match) continue;
       ++matches_lo[i];
       ++matches_lo[j];
-      if (j < count_hi && std::abs(series[i + m] - series[j + m]) <= r) {
+      // Negated form of the historical `> r` mismatch test (not `<= r`):
+      // with NaN-bearing input r is NaN, every comparison is false, and the
+      // historical loop treated everything as a match in both dims.
+      if (j < count_hi && !(std::abs(series[i + m] - series[j + m]) > r)) {
         ++matches_hi[i];
         ++matches_hi[j];
       }

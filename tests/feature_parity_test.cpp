@@ -36,6 +36,47 @@ struct OracleDef {
   OracleFn fn;
 };
 
+/// Historical two-pass approximate_entropy, inlined verbatim from the
+/// pre-rewrite extractors.cpp so the oracle stays independent of the
+/// production single-sweep implementation (which was rewritten in place).
+double oracle_approximate_entropy(std::span<const double> xs, std::size_t m,
+                                  double r_frac) {
+  constexpr std::size_t kMaxPoints = 256;  // O(n^2) cost control
+  std::vector<double> series;
+  if (xs.size() > kMaxPoints) {
+    series.reserve(kMaxPoints);
+    const double stride = static_cast<double>(xs.size()) / kMaxPoints;
+    for (std::size_t i = 0; i < kMaxPoints; ++i) {
+      series.push_back(xs[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+    }
+  } else {
+    series.assign(xs.begin(), xs.end());
+  }
+  const std::size_t n = series.size();
+  if (n < m + 2) return 0.0;
+  const double r = r_frac * tensor::stddev(series);
+  if (r == 0.0) return 0.0;
+
+  auto phi = [&](std::size_t dim) {
+    const std::size_t count = n - dim + 1;
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t matches = 0;
+      for (std::size_t j = 0; j < count; ++j) {
+        bool match = true;
+        for (std::size_t k = 0; k < dim && match; ++k) {
+          if (std::abs(series[i + k] - series[j + k]) > r) match = false;
+        }
+        if (match) ++matches;
+      }
+      total += std::log(static_cast<double>(matches) / static_cast<double>(count));
+    }
+    return total / static_cast<double>(count);
+  };
+
+  return std::abs(phi(m) - phi(m + 1));
+}
+
 /// The pre-rewrite registry, verbatim: one independent closure per feature,
 /// each calling the standalone extractors that recompute every intermediate.
 std::vector<OracleDef> build_oracle_registry() {
@@ -104,7 +145,7 @@ std::vector<OracleDef> build_oracle_registry() {
   add("cid_ce_normalized", [](auto xs) { return cid_ce(xs, true); });
   add("cid_ce", [](auto xs) { return cid_ce(xs, false); });
   add("approximate_entropy_m2_r02",
-      [](auto xs) { return approximate_entropy(xs, 2, 0.2); });
+      [](auto xs) { return oracle_approximate_entropy(xs, 2, 0.2); });
   add("binned_entropy_10", [](auto xs) { return binned_entropy(xs, 10); });
   add("benford_correlation", [](auto xs) { return benford_correlation(xs); });
 
