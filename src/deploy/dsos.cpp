@@ -51,10 +51,42 @@ void DsosStore::ingest(const telemetry::JobTelemetry& job) {
 
 void DsosStore::ingest_node(const telemetry::NodeSeries& node) {
   std::unique_lock lock(mutex_);
-  job_apps_.emplace(node.job_id, node.app);
+  // Assign (not emplace): a re-ingested job must pick up the new app name,
+  // exactly like whole-job ingest does.
+  job_apps_[node.job_id] = node.app;
   job_generation_[node.job_id] = ++generation_;
   nodes_[{node.job_id, node.component_id}] = node;
   util::MetricsRegistry::global().counter("prodigy_dsos_ingests_total").increment();
+}
+
+void DsosStore::append_node(const telemetry::NodeSeries& delta) {
+  std::unique_lock lock(mutex_);
+  job_apps_[delta.job_id] = delta.app;
+  job_generation_[delta.job_id] = ++generation_;
+  const NodeKey key{delta.job_id, delta.component_id};
+  const auto it = nodes_.find(key);
+  if (it == nodes_.end()) {
+    nodes_[key] = delta;
+  } else {
+    telemetry::NodeSeries& existing = it->second;
+    if (existing.values.cols() != delta.values.cols()) {
+      throw std::invalid_argument(
+          "DsosStore::append_node: column mismatch for node " +
+          std::to_string(delta.job_id) + "/" + std::to_string(delta.component_id) +
+          " (" + std::to_string(existing.values.cols()) + " vs " +
+          std::to_string(delta.values.cols()) + ")");
+    }
+    // Grow the series in place; identity/ground truth of the first insert is
+    // authoritative (a live stream has no labels to contribute).
+    tensor::Matrix grown(existing.values.rows() + delta.values.rows(),
+                         existing.values.cols());
+    std::copy(existing.values.data(),
+              existing.values.data() + existing.values.size(), grown.data());
+    std::copy(delta.values.data(), delta.values.data() + delta.values.size(),
+              grown.data() + existing.values.size());
+    existing.values = std::move(grown);
+  }
+  util::MetricsRegistry::global().counter("prodigy_dsos_appends_total").increment();
 }
 
 std::vector<std::int64_t> DsosStore::job_ids() const {

@@ -54,7 +54,16 @@ class DsosStore {
   void ingest(const telemetry::JobTelemetry& job);
 
   /// Ingests a single node series (streaming ldmsd aggregation path).
+  /// Re-ingesting a (job, component) replaces that series wholesale.
   void ingest_node(const telemetry::NodeSeries& node);
+
+  /// Appends the delta's rows to the (job, component) series, creating it
+  /// when absent — how a streaming aggregator accumulates telemetry.  The
+  /// delta's column count must match the existing series (throws
+  /// std::invalid_argument otherwise).  When appending to an existing
+  /// series, the original label/anomaly ground truth is kept; the app name
+  /// is reassigned like ingest's.
+  void append_node(const telemetry::NodeSeries& delta);
 
   std::vector<std::int64_t> job_ids() const;
   bool has_job(std::int64_t job_id) const;

@@ -1,0 +1,244 @@
+#include "stream/ingestor.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "util/metrics.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prodigy::stream {
+
+std::string to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::Block: return "block";
+    case BackpressurePolicy::DropOldest: return "drop-oldest";
+    case BackpressurePolicy::DropNewest: return "drop-newest";
+  }
+  return "unknown";
+}
+
+BackpressurePolicy backpressure_policy_from_string(const std::string& name) {
+  if (name == "block") return BackpressurePolicy::Block;
+  if (name == "drop-oldest") return BackpressurePolicy::DropOldest;
+  if (name == "drop-newest") return BackpressurePolicy::DropNewest;
+  throw std::invalid_argument("unknown backpressure policy: " + name);
+}
+
+namespace {
+
+struct IngestMetrics {
+  util::Counter* offered;
+  util::Counter* flushed;
+  util::Counter* dropped;
+  util::Counter* duplicate;
+  util::Counter* late;
+  util::Counter* malformed;
+  util::Counter* flushes;
+  util::Gauge* queue_depth;
+  util::Gauge* queue_high_water;
+
+  static IngestMetrics& instance() {
+    static IngestMetrics metrics = [] {
+      auto& registry = util::MetricsRegistry::global();
+      IngestMetrics m;
+      m.offered = &registry.counter("prodigy_stream_samples_offered_total");
+      m.flushed = &registry.counter("prodigy_stream_samples_flushed_total");
+      m.dropped = &registry.counter("prodigy_stream_samples_dropped_total");
+      m.duplicate = &registry.counter("prodigy_stream_samples_duplicate_total");
+      m.late = &registry.counter("prodigy_stream_samples_late_total");
+      m.malformed = &registry.counter("prodigy_stream_samples_malformed_total");
+      m.flushes = &registry.counter("prodigy_stream_flushes_total");
+      m.queue_depth = &registry.gauge("prodigy_stream_queue_depth");
+      m.queue_high_water = &registry.gauge("prodigy_stream_queue_depth_high_water");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(deploy::DsosStore& store, IngestorConfig config,
+                               RowSink* sink)
+    : store_(store), config_(config), sink_(sink) {
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("StreamIngestor: queue_capacity must be > 0");
+  }
+  if (config_.columns == 0) config_.columns = telemetry::metric_count();
+  consumer_ = std::thread([this] { consumer_loop(); });
+}
+
+StreamIngestor::~StreamIngestor() { stop(); }
+
+bool StreamIngestor::offer(SampleBatch batch) {
+  auto& metrics = IngestMetrics::instance();
+  const std::uint64_t samples = batch.sample_count();
+  metrics.offered->increment(samples);
+
+  std::unique_lock lock(mutex_);
+  stats_.offered_samples += samples;
+  if (stopping_) {
+    stats_.dropped_samples += samples;
+    metrics.dropped->increment(samples);
+    return false;
+  }
+  if (queue_.size() >= config_.queue_capacity) {
+    switch (config_.policy) {
+      case BackpressurePolicy::Block:
+        not_full_.wait(lock, [&] {
+          return stopping_ || queue_.size() < config_.queue_capacity;
+        });
+        if (stopping_) {
+          stats_.dropped_samples += samples;
+          metrics.dropped->increment(samples);
+          return false;
+        }
+        break;
+      case BackpressurePolicy::DropOldest: {
+        const std::uint64_t evicted = queue_.front().sample_count();
+        queue_.pop_front();
+        stats_.dropped_samples += evicted;
+        metrics.dropped->increment(evicted);
+        break;
+      }
+      case BackpressurePolicy::DropNewest:
+        stats_.dropped_samples += samples;
+        metrics.dropped->increment(samples);
+        return false;
+    }
+  }
+  queue_.push_back(std::move(batch));
+  const auto depth = static_cast<double>(queue_.size());
+  metrics.queue_depth->set(depth);
+  metrics.queue_high_water->update_max(depth);
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+void StreamIngestor::consumer_loop() {
+  auto& metrics = IngestMetrics::instance();
+  for (;;) {
+    SampleBatch batch;
+    bool idle = false;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      idle = queue_.empty();
+      metrics.queue_depth->set(static_cast<double>(queue_.size()));
+    }
+    not_full_.notify_one();
+    process_batch(batch);
+    // Flush on pressure (amortized store locking for a firehose) or when
+    // caught up (per-tick freshness for a paced stream).
+    if (pending_rows_ >= config_.flush_rows || idle) flush_pending();
+  }
+  flush_pending();  // drain in-flight rows on shutdown
+}
+
+void StreamIngestor::process_batch(const SampleBatch& batch) {
+  auto& metrics = IngestMetrics::instance();
+  std::uint64_t duplicate = 0, late = 0, malformed = 0;
+  for (const auto& row : batch.rows) {
+    if (row.values.size() != config_.columns) {
+      ++malformed;
+      continue;
+    }
+    PendingNode& node = pending_[{row.job_id, row.component_id}];
+    if (row.timestamp <= node.watermark) {
+      ++late;
+      continue;
+    }
+    const auto [it, inserted] = node.rows.try_emplace(row.timestamp, row.values);
+    if (!inserted) {
+      ++duplicate;
+      continue;
+    }
+    node.app = row.app;
+    ++pending_rows_;
+  }
+  if (duplicate + late + malformed > 0) {
+    metrics.duplicate->increment(duplicate);
+    metrics.late->increment(late);
+    metrics.malformed->increment(malformed);
+    std::lock_guard lock(mutex_);
+    stats_.duplicate_samples += duplicate;
+    stats_.late_samples += late;
+    stats_.malformed_samples += malformed;
+  }
+}
+
+void StreamIngestor::flush_pending() {
+  if (pending_rows_ == 0) return;
+  auto& metrics = IngestMetrics::instance();
+  std::uint64_t flushed = 0, flushes = 0, malformed = 0;
+  for (auto& [key, node] : pending_) {
+    if (node.rows.empty()) continue;
+    const std::size_t count = node.rows.size();
+    std::vector<std::int64_t> timestamps;
+    timestamps.reserve(count);
+    tensor::Matrix values(count, config_.columns);
+    std::size_t r = 0;
+    for (const auto& [ts, readings] : node.rows) {  // map order == time order
+      timestamps.push_back(ts);
+      values.set_row(r++, readings);
+    }
+    node.watermark = timestamps.back();
+    node.rows.clear();
+
+    telemetry::NodeSeries delta;
+    delta.job_id = key.first;
+    delta.component_id = key.second;
+    delta.app = node.app;
+    delta.values = std::move(values);
+    try {
+      store_.append_node(delta);
+    } catch (const std::invalid_argument&) {
+      // The store already holds this node with a different width (foreign
+      // ingest); account the rows and keep the daemon alive.
+      malformed += count;
+      continue;
+    }
+    if (sink_ != nullptr) {
+      sink_->on_rows(key.first, key.second, node.app, timestamps, delta.values);
+    }
+    flushed += count;
+    ++flushes;
+  }
+  pending_rows_ = 0;
+  metrics.flushed->increment(flushed);
+  metrics.flushes->increment(flushes);
+  metrics.malformed->increment(malformed);
+  std::lock_guard lock(mutex_);
+  stats_.flushed_samples += flushed;
+  stats_.flushes += flushes;
+  stats_.malformed_samples += malformed;
+}
+
+void StreamIngestor::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  // joinable()/join() are not thread-safe against each other; serialize so
+  // stop() is idempotent and callable from any thread (and the destructor).
+  std::lock_guard join_lock(join_mutex_);
+  if (consumer_.joinable()) consumer_.join();
+}
+
+IngestorStats StreamIngestor::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t StreamIngestor::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace prodigy::stream

@@ -1,0 +1,127 @@
+// Streaming ingest (paper Fig. 4, the live half of the deployment loop):
+// producers (ldmsd aggregators, the replay tool, tests) offer SampleBatches
+// into a bounded MPSC queue; one consumer thread reorders and deduplicates
+// per-node rows by timestamp and flushes them in batches into the DsosStore
+// append path, forwarding the appended rows to an optional RowSink (the
+// online scorer).
+//
+// Backpressure mirrors LDMS "dropped samples" semantics: when the queue is
+// full, Block stalls the producer, DropOldest evicts the oldest queued
+// batch, DropNewest rejects the incoming one.  Every offered sample ends up
+// in exactly one accounting bucket (flushed, dropped, duplicate, late, or
+// malformed), so `stats()` always balances against what producers sent.
+#pragma once
+
+#include "deploy/dsos.hpp"
+#include "stream/sample_batch.hpp"
+#include "tensor/matrix.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+
+namespace prodigy::stream {
+
+enum class BackpressurePolicy { Block, DropOldest, DropNewest };
+
+std::string to_string(BackpressurePolicy policy);
+/// Parses "block" / "drop-oldest" / "drop-newest"; throws std::invalid_argument.
+BackpressurePolicy backpressure_policy_from_string(const std::string& name);
+
+/// Consumer-side hook: receives every flushed run of rows for one node, on
+/// the ingestor's consumer thread, *after* the rows landed in the store.
+/// `timestamps` and the matrix rows are aligned and sorted ascending.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual void on_rows(std::int64_t job_id, std::int64_t component_id,
+                       const std::string& app,
+                       std::span<const std::int64_t> timestamps,
+                       const tensor::Matrix& rows) = 0;
+};
+
+struct IngestorConfig {
+  std::size_t queue_capacity = 256;  // batches
+  BackpressurePolicy policy = BackpressurePolicy::Block;
+  /// Pending rows (across all nodes) that force a store flush; the consumer
+  /// also flushes whenever it catches up with the queue, so a paced stream
+  /// stays fresh while a firehose amortizes store locking.
+  std::size_t flush_rows = 512;
+  /// Expected row width; rows of any other width are counted malformed and
+  /// dropped (a daemon must not die on one bad frame).
+  std::size_t columns = 0;  // 0 -> telemetry::metric_count()
+};
+
+/// Monotonic sample accounting (one terminal bucket per offered sample):
+/// offered == flushed + dropped + duplicate + late + malformed once the
+/// ingestor is stopped and drained.
+struct IngestorStats {
+  std::uint64_t offered_samples = 0;
+  std::uint64_t flushed_samples = 0;
+  std::uint64_t dropped_samples = 0;    // backpressure (or offered post-stop)
+  std::uint64_t duplicate_samples = 0;  // same (node, timestamp) seen twice
+  std::uint64_t late_samples = 0;       // older than the node's flush watermark
+  std::uint64_t malformed_samples = 0;  // wrong row width
+  std::uint64_t flushes = 0;
+};
+
+class StreamIngestor {
+ public:
+  /// `store` and `sink` must outlive the ingestor.  The consumer thread
+  /// starts immediately.
+  explicit StreamIngestor(deploy::DsosStore& store, IngestorConfig config = {},
+                          RowSink* sink = nullptr);
+  ~StreamIngestor();
+
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
+
+  /// Producer API (any thread).  Returns false when the batch was rejected:
+  /// DropNewest with a full queue, or the ingestor already stopped.  Under
+  /// Block a full queue stalls the caller until space frees up.
+  bool offer(SampleBatch batch);
+
+  /// Stops accepting batches, drains everything queued, flushes pending rows
+  /// into the store, and joins the consumer thread.  Idempotent.
+  void stop();
+
+  IngestorStats stats() const;
+  std::size_t queue_depth() const;
+  const IngestorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct PendingNode {
+    std::string app;
+    std::map<std::int64_t, std::vector<double>> rows;  // ts -> readings
+    std::int64_t watermark = INT64_MIN;  // newest timestamp ever flushed
+  };
+
+  void consumer_loop();
+  void process_batch(const SampleBatch& batch);
+  void flush_pending();
+
+  deploy::DsosStore& store_;
+  IngestorConfig config_;
+  RowSink* sink_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<SampleBatch> queue_;
+  bool stopping_ = false;
+  IngestorStats stats_;
+
+  // Consumer-thread-only state (no lock needed).
+  std::map<std::pair<std::int64_t, std::int64_t>, PendingNode> pending_;
+  std::size_t pending_rows_ = 0;
+
+  std::mutex join_mutex_;  // serializes joinable()/join() in stop()
+  std::thread consumer_;
+};
+
+}  // namespace prodigy::stream

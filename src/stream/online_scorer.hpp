@@ -1,0 +1,114 @@
+// Online scoring (the continuous half of the paper's Fig. 4 loop): consumes
+// flushed telemetry rows from the StreamIngestor, maintains one sliding
+// WindowState per (job, component), and scores every full window — raw
+// window -> preprocess -> extract_node_features -> ModelBundle -> verdict —
+// publishing one VerdictEvent per window to the EventBus.
+//
+// Scoring fans out across the shared ThreadPool with *per-node ordering*:
+// each node's windows are scored and published in window order by a single
+// chained task (so debouncing sees a coherent sequence), while different
+// nodes score concurrently.  Feature extraction reuses the thread_local
+// FeatureScratch hot path, so steady-state scoring allocates almost nothing.
+#pragma once
+
+#include "core/model_trainer.hpp"
+#include "pipeline/preprocess.hpp"
+#include "stream/event_bus.hpp"
+#include "stream/ingestor.hpp"
+#include "stream/window.hpp"
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace prodigy::stream {
+
+/// Streaming preprocessing defaults: identical cleaning to the batch path
+/// (interpolate lost readings, difference counters) but no boundary trim —
+/// a W-row window is already inside the steady phase of the run.
+pipeline::PreprocessOptions streaming_preprocess_defaults();
+
+struct OnlineScorerConfig {
+  std::size_t window = 64;  // W: rows per scored window
+  std::size_t hop = 16;     // H: rows between window starts
+  pipeline::PreprocessOptions preprocess = streaming_preprocess_defaults();
+  util::ThreadPool* pool = nullptr;  // nullptr -> util::ThreadPool::global()
+};
+
+class OnlineScorer : public RowSink {
+ public:
+  /// Owns a copy of the bundle; `bus` must outlive the scorer.
+  OnlineScorer(core::ModelBundle bundle, EventBus& bus,
+               OnlineScorerConfig config = {});
+  ~OnlineScorer() override;
+
+  OnlineScorer(const OnlineScorer&) = delete;
+  OnlineScorer& operator=(const OnlineScorer&) = delete;
+
+  /// RowSink: called on the ingestor's consumer thread.
+  void on_rows(std::int64_t job_id, std::int64_t component_id,
+               const std::string& app,
+               std::span<const std::int64_t> timestamps,
+               const tensor::Matrix& rows) override;
+
+  /// Blocks until every scheduled window has been scored and published.
+  /// Call after StreamIngestor::stop() to observe the complete alert stream.
+  void drain();
+
+  std::uint64_t windows_scored() const noexcept {
+    return windows_scored_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t score_errors() const noexcept {
+    return score_errors_.load(std::memory_order_relaxed);
+  }
+  const OnlineScorerConfig& config() const noexcept { return config_; }
+  const core::ModelBundle& bundle() const noexcept { return bundle_; }
+
+ private:
+  struct PendingWindow {
+    WindowSpan span;
+    tensor::Matrix values;  // raw (window x cols) rows
+    std::string app;
+  };
+
+  struct NodeState {
+    NodeState(std::int64_t job, std::int64_t component, std::size_t window,
+              std::size_t hop, std::size_t cols)
+        : job_id(job), component_id(component), state(window, hop, cols) {}
+    const std::int64_t job_id;
+    const std::int64_t component_id;
+    WindowState state;  // ingestor-consumer-thread only
+
+    std::mutex task_mutex;  // guards pending + task_active
+    std::deque<PendingWindow> pending;
+    bool task_active = false;
+  };
+
+  void run_node_tasks(NodeState& node);
+  void score_window(NodeState& node, PendingWindow& window);
+  util::ThreadPool& pool() const noexcept;
+
+  core::ModelBundle bundle_;
+  EventBus& bus_;
+  OnlineScorerConfig config_;
+  std::vector<telemetry::MetricKind> kinds_;
+
+  // Touched only on the ingestor consumer thread; node addresses are stable
+  // so scoring tasks can hold references across map growth.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::unique_ptr<NodeState>>
+      nodes_;
+
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::size_t in_flight_ = 0;  // windows scheduled but not yet published
+
+  std::atomic<std::uint64_t> windows_scored_{0};
+  std::atomic<std::uint64_t> score_errors_{0};
+};
+
+}  // namespace prodigy::stream

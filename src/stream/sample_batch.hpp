@@ -1,0 +1,40 @@
+// The streaming wire format: one SampleBatch is what an ldmsd aggregator
+// flushes per collection tick — a frame of per-node sample rows over the
+// metric catalog.  Frames are self-delimiting (magic + version + counts) so
+// a capture file is just consecutive frames and a reader iterates with
+// BinaryReader::at_end().
+#pragma once
+
+#include "util/serialize.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prodigy::stream {
+
+/// One node's readings at one timestamp, in metric-catalog column order.
+/// `timestamp` is the 1 Hz sample tick (seconds since the job started).
+struct SampleRow {
+  std::int64_t job_id = 0;
+  std::int64_t component_id = 0;
+  std::int64_t timestamp = 0;
+  std::string app;
+  std::vector<double> values;  // width = metric catalog size; NaN = lost reading
+};
+
+/// A framed batch of sample rows (typically one row per node per tick).
+struct SampleBatch {
+  std::uint64_t sequence = 0;  // producer frame counter, for gap diagnostics
+  std::vector<SampleRow> rows;
+
+  std::size_t sample_count() const noexcept { return rows.size(); }
+
+  /// Appends this batch as one frame to the writer's stream.
+  void write_frame(util::BinaryWriter& writer) const;
+
+  /// Reads one frame; throws std::runtime_error on a foreign/corrupt frame.
+  static SampleBatch read_frame(util::BinaryReader& reader);
+};
+
+}  // namespace prodigy::stream

@@ -1,0 +1,57 @@
+#include "stream/window.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prodigy::stream {
+
+WindowState::WindowState(std::size_t window, std::size_t hop, std::size_t cols)
+    : window_(window), hop_(hop), cols_(cols), ring_(window, cols),
+      ring_ts_(window, 0) {
+  if (window == 0 || hop == 0 || cols == 0) {
+    throw std::invalid_argument("WindowState: window, hop, and cols must be > 0");
+  }
+}
+
+void WindowState::push_row(std::int64_t timestamp, std::span<const double> row) {
+  if (row.size() != cols_) {
+    throw std::invalid_argument("WindowState::push_row: row width " +
+                                std::to_string(row.size()) + " != " +
+                                std::to_string(cols_));
+  }
+  const std::size_t slot = static_cast<std::size_t>(pushed_ % window_);
+  ring_.set_row(slot, row);
+  ring_ts_[slot] = timestamp;
+  ++pushed_;
+}
+
+bool WindowState::ready() const noexcept {
+  // Next window's rows are [emitted_*hop, emitted_*hop + window).
+  return pushed_ >= emitted_ * hop_ + window_;
+}
+
+WindowSpan WindowState::pop(tensor::Matrix& out) {
+  if (!ready()) throw std::logic_error("WindowState::pop: no window ready");
+  const std::uint64_t start = emitted_ * hop_;
+  if (pushed_ > start + window_) {
+    // Rows of this window were already overwritten — the caller failed to
+    // drain eagerly.  Losing data silently would corrupt scoring, so refuse.
+    throw std::logic_error("WindowState::pop: window rows overwritten "
+                           "(drain ready windows after every push)");
+  }
+  if (out.rows() != window_ || out.cols() != cols_) {
+    out = tensor::Matrix(window_, cols_);
+  }
+  WindowSpan span;
+  span.index = emitted_;
+  for (std::size_t r = 0; r < window_; ++r) {
+    const std::size_t slot = static_cast<std::size_t>((start + r) % window_);
+    out.set_row(r, ring_.row(slot));
+    if (r == 0) span.start_ts = ring_ts_[slot];
+    if (r + 1 == window_) span.end_ts = ring_ts_[slot];
+  }
+  ++emitted_;
+  return span;
+}
+
+}  // namespace prodigy::stream

@@ -1,0 +1,58 @@
+// Per-(job, component) sliding-window state for online scoring: a ring
+// buffer of the last W sample rows.  Window k (0-based) covers pushed rows
+// [k*H, k*H + W); it becomes ready exactly when its last row arrives, so a
+// caller that drains ready windows after every push never loses one to ring
+// overwrite (Borghesi et al., arXiv:1902.08447: per-node autoencoder scoring
+// over sliding windows of live telemetry).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prodigy::stream {
+
+/// Identity of one emitted window: its ordinal and the timestamps of its
+/// first/last rows (inclusive).
+struct WindowSpan {
+  std::uint64_t index = 0;
+  std::int64_t start_ts = 0;
+  std::int64_t end_ts = 0;
+};
+
+class WindowState {
+ public:
+  /// `window` rows per emitted window, advancing by `hop` rows.  hop may
+  /// exceed window (disjoint windows with a gap).
+  WindowState(std::size_t window, std::size_t hop, std::size_t cols);
+
+  void push_row(std::int64_t timestamp, std::span<const double> row);
+
+  /// True when the oldest unemitted window is complete.  Drain with pop()
+  /// after each push; letting more than `hop` rows accumulate past a ready
+  /// window overwrites its rows (pop() then throws std::logic_error).
+  bool ready() const noexcept;
+
+  /// Copies the oldest ready window into `out` (resized to window x cols,
+  /// rows in time order) and returns its span.
+  WindowSpan pop(tensor::Matrix& out);
+
+  std::size_t window() const noexcept { return window_; }
+  std::size_t hop() const noexcept { return hop_; }
+  std::uint64_t rows_pushed() const noexcept { return pushed_; }
+  std::uint64_t windows_emitted() const noexcept { return emitted_; }
+
+ private:
+  std::size_t window_;
+  std::size_t hop_;
+  std::size_t cols_;
+  tensor::Matrix ring_;                 // (window x cols), slot = pushed % window
+  std::vector<std::int64_t> ring_ts_;   // aligned timestamps
+  std::uint64_t pushed_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace prodigy::stream

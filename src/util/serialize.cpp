@@ -88,6 +88,8 @@ std::vector<std::string> BinaryReader::read_string_vector() {
   return values;
 }
 
+bool BinaryReader::at_end() { return in_.peek() == std::ifstream::traits_type::eof(); }
+
 void BinaryReader::expect_magic(std::uint64_t magic, std::uint64_t version) {
   const auto got_magic = read_u64();
   const auto got_version = read_u64();

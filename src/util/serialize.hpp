@@ -45,6 +45,10 @@ class BinaryReader {
   /// Throws std::runtime_error if magic/version do not match.
   void expect_magic(std::uint64_t magic, std::uint64_t version);
 
+  /// True when every byte has been consumed — used to iterate frame streams
+  /// (e.g. a capture file of consecutive SampleBatch frames).
+  bool at_end();
+
  private:
   void read_raw(void* data, std::size_t size);
   std::ifstream in_;

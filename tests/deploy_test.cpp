@@ -63,6 +63,78 @@ TEST(DsosStoreTest, StreamingNodeIngestBuildsJobs) {
   EXPECT_EQ(store.query_job(9).app, "SWFFT");
 }
 
+TEST(DsosStoreTest, NodeReingestUpdatesAppName) {
+  // Regression: ingest_node used job_apps_.emplace, so a re-ingested job
+  // kept its stale app name even though its telemetry was replaced.
+  DsosStore store;
+  auto job = make_job(4, "LAMMPS", 1, 16);
+  store.ingest_node(job.nodes[0]);
+  EXPECT_EQ(store.query_job(4).app, "LAMMPS");
+
+  auto renamed = make_job(4, "sw4", 1, 16);
+  store.ingest_node(renamed.nodes[0]);
+  EXPECT_EQ(store.query_job(4).app, "sw4");
+}
+
+TEST(DsosStoreTest, AppendNodeAccumulatesRows) {
+  DsosStore store;
+  const auto job = make_job(6, "HACC", 1, 32);
+  const auto& node = job.nodes[0];
+
+  // Stream the series in as three chunks: 10 + 10 + 12 rows.
+  const std::size_t cuts[] = {0, 10, 20, 32};
+  for (int chunk = 0; chunk < 3; ++chunk) {
+    telemetry::NodeSeries delta = node;
+    delta.values = node.values.slice_rows(cuts[chunk], cuts[chunk + 1] - cuts[chunk]);
+    store.append_node(delta);
+  }
+
+  const auto stored = store.query_node(6, node.component_id);
+  ASSERT_EQ(stored.values.rows(), node.values.rows());
+  ASSERT_EQ(stored.values.cols(), node.values.cols());
+  for (std::size_t i = 0; i < node.values.size(); ++i) {
+    const double expected = node.values.data()[i];
+    const double got = stored.values.data()[i];
+    if (std::isnan(expected)) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_DOUBLE_EQ(expected, got);
+    }
+  }
+  // Three appends -> three generation bumps, unlike replace semantics the
+  // datapoint count grows monotonically.
+  EXPECT_EQ(store.generation(), 3u);
+  EXPECT_EQ(store.datapoint_count(), node.values.size());
+}
+
+TEST(DsosStoreTest, AppendNodeKeepsGroundTruthButReassignsApp) {
+  DsosStore store;
+  auto job = make_job(8, "LAMMPS", 1, 16, hpas::table2_configurations().back());
+  auto first = job.nodes[0];
+  first.label = 1;
+  store.append_node(first);
+
+  telemetry::NodeSeries delta = first;
+  delta.app = "sw4";      // job re-labeled mid-stream
+  delta.label = 0;        // a live stream carries no ground truth
+  delta.anomaly = "none";
+  store.append_node(delta);
+
+  const auto stored = store.query_node(8, first.component_id);
+  EXPECT_EQ(stored.label, 1);
+  EXPECT_EQ(stored.anomaly, first.anomaly);
+  EXPECT_EQ(store.query_job(8).app, "sw4");
+}
+
+TEST(DsosStoreTest, AppendNodeRejectsColumnMismatch) {
+  DsosStore store;
+  const auto job = make_job(10, "SWFFT", 1, 16);
+  store.append_node(job.nodes[0]);
+  telemetry::NodeSeries bad = job.nodes[0];
+  bad.values = tensor::Matrix(4, job.nodes[0].values.cols() + 1);
+  EXPECT_THROW(store.append_node(bad), std::invalid_argument);
+}
+
 TEST(DsosStoreTest, ReingestReplacesJob) {
   DsosStore store;
   store.ingest(make_job(1, "LAMMPS", 2, 16));

@@ -1,0 +1,361 @@
+// StreamIngestor: bounded-queue MPSC ingest with reorder/dedup, backpressure
+// policies, and shutdown draining.  Every test asserts the sample-accounting
+// invariant: offered == flushed + dropped + duplicate + late + malformed.
+#include "deploy/dsos.hpp"
+#include "stream/ingestor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace prodigy;
+
+constexpr std::size_t kCols = 4;
+
+stream::SampleRow make_row(std::int64_t component, std::int64_t ts,
+                           double fill = 0.0) {
+  stream::SampleRow row;
+  row.job_id = 7;
+  row.component_id = component;
+  row.timestamp = ts;
+  row.app = "LAMMPS";
+  row.values.assign(kCols, fill != 0.0 ? fill : static_cast<double>(ts));
+  return row;
+}
+
+stream::SampleBatch one_row_batch(std::int64_t component, std::int64_t ts) {
+  stream::SampleBatch batch;
+  batch.sequence = static_cast<std::uint64_t>(ts);
+  batch.rows.push_back(make_row(component, ts));
+  return batch;
+}
+
+stream::IngestorConfig small_config() {
+  stream::IngestorConfig config;
+  config.columns = kCols;
+  return config;
+}
+
+void expect_accounting_balances(const stream::IngestorStats& stats) {
+  EXPECT_EQ(stats.offered_samples,
+            stats.flushed_samples + stats.dropped_samples +
+                stats.duplicate_samples + stats.late_samples +
+                stats.malformed_samples);
+}
+
+/// Records every flush; slows the consumer down by `delay` per call.
+class CollectingSink : public stream::RowSink {
+ public:
+  explicit CollectingSink(std::chrono::milliseconds delay = {}) : delay_(delay) {}
+
+  void on_rows(std::int64_t job_id, std::int64_t component_id,
+               const std::string& app,
+               std::span<const std::int64_t> timestamps,
+               const tensor::Matrix& rows) override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    std::lock_guard lock(mutex_);
+    Flush flush;
+    flush.job_id = job_id;
+    flush.component_id = component_id;
+    flush.app = app;
+    flush.timestamps.assign(timestamps.begin(), timestamps.end());
+    flush.rows = rows.rows();
+    flushes_.push_back(std::move(flush));
+  }
+
+  struct Flush {
+    std::int64_t job_id = 0;
+    std::int64_t component_id = 0;
+    std::string app;
+    std::vector<std::int64_t> timestamps;
+    std::size_t rows = 0;
+  };
+
+  std::vector<Flush> flushes() const {
+    std::lock_guard lock(mutex_);
+    return flushes_;
+  }
+
+ private:
+  std::chrono::milliseconds delay_;
+  mutable std::mutex mutex_;
+  std::vector<Flush> flushes_;
+};
+
+TEST(StreamIngestTest, OutOfOrderRowsWithinABatchFlushSorted) {
+  deploy::DsosStore store;
+  CollectingSink sink;
+  stream::StreamIngestor ingestor(store, small_config(), &sink);
+
+  stream::SampleBatch batch;
+  for (const std::int64_t ts : {4, 1, 3, 0, 2}) {
+    batch.rows.push_back(make_row(100, ts));
+  }
+  EXPECT_TRUE(ingestor.offer(std::move(batch)));
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, 5u);
+  EXPECT_EQ(stats.flushed_samples, 5u);
+  EXPECT_EQ(stats.late_samples, 0u);
+  expect_accounting_balances(stats);
+
+  // The store and the sink both saw the rows in timestamp order.
+  const auto series = store.query_node(7, 100);
+  ASSERT_EQ(series.values.rows(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(series.values.at(r, 0), static_cast<double>(r));
+  }
+  std::vector<std::int64_t> seen;
+  for (const auto& flush : sink.flushes()) {
+    EXPECT_EQ(flush.job_id, 7);
+    EXPECT_EQ(flush.component_id, 100);
+    EXPECT_EQ(flush.app, "LAMMPS");
+    seen.insert(seen.end(), flush.timestamps.begin(), flush.timestamps.end());
+  }
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(StreamIngestTest, DuplicateTimestampsCountedOnce) {
+  deploy::DsosStore store;
+  stream::StreamIngestor ingestor(store, small_config(), nullptr);
+
+  stream::SampleBatch batch;
+  batch.rows.push_back(make_row(100, 1));
+  batch.rows.push_back(make_row(100, 2));
+  batch.rows.push_back(make_row(100, 1));  // duplicate of the first
+  EXPECT_TRUE(ingestor.offer(std::move(batch)));
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, 3u);
+  EXPECT_EQ(stats.flushed_samples, 2u);
+  EXPECT_EQ(stats.duplicate_samples, 1u);
+  expect_accounting_balances(stats);
+  EXPECT_EQ(store.query_node(7, 100).values.rows(), 2u);
+}
+
+TEST(StreamIngestTest, RowsBehindTheFlushWatermarkAreLate) {
+  deploy::DsosStore store;
+  auto config = small_config();
+  config.flush_rows = 1;  // flush after every batch
+  stream::StreamIngestor ingestor(store, config, nullptr);
+
+  stream::SampleBatch first;
+  first.rows.push_back(make_row(100, 10));
+  first.rows.push_back(make_row(100, 11));
+  EXPECT_TRUE(ingestor.offer(std::move(first)));
+  // Wait for the flush so the node's watermark advances to 11.
+  for (int i = 0; i < 2000 && ingestor.stats().flushed_samples < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(ingestor.stats().flushed_samples, 2u);
+
+  stream::SampleBatch second;
+  second.rows.push_back(make_row(100, 11));  // behind watermark: late
+  second.rows.push_back(make_row(100, 5));   // far behind: late
+  second.rows.push_back(make_row(100, 12));  // fresh
+  EXPECT_TRUE(ingestor.offer(std::move(second)));
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, 5u);
+  EXPECT_EQ(stats.flushed_samples, 3u);
+  EXPECT_EQ(stats.late_samples, 2u);
+  expect_accounting_balances(stats);
+  EXPECT_EQ(store.query_node(7, 100).values.rows(), 3u);
+}
+
+TEST(StreamIngestTest, MalformedRowWidthCountedAndSkipped) {
+  deploy::DsosStore store;
+  stream::StreamIngestor ingestor(store, small_config(), nullptr);
+
+  stream::SampleBatch batch;
+  batch.rows.push_back(make_row(100, 1));
+  stream::SampleRow narrow = make_row(100, 2);
+  narrow.values.resize(kCols - 1);
+  batch.rows.push_back(std::move(narrow));
+  EXPECT_TRUE(ingestor.offer(std::move(batch)));
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.flushed_samples, 1u);
+  EXPECT_EQ(stats.malformed_samples, 1u);
+  expect_accounting_balances(stats);
+}
+
+TEST(StreamIngestTest, BlockPolicyLosesNothingUnderSlowConsumer) {
+  deploy::DsosStore store;
+  CollectingSink sink(std::chrono::milliseconds(2));
+  auto config = small_config();
+  config.queue_capacity = 2;
+  config.flush_rows = 1;  // every batch hits the slow sink
+  config.policy = stream::BackpressurePolicy::Block;
+  stream::StreamIngestor ingestor(store, config, &sink);
+
+  constexpr std::int64_t kBatches = 40;
+  for (std::int64_t t = 0; t < kBatches; ++t) {
+    EXPECT_TRUE(ingestor.offer(one_row_batch(100, t)));
+  }
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(stats.flushed_samples, static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(stats.dropped_samples, 0u);
+  expect_accounting_balances(stats);
+  EXPECT_EQ(store.query_node(7, 100).values.rows(),
+            static_cast<std::size_t>(kBatches));
+}
+
+TEST(StreamIngestTest, DropOldestEvictsQueuedBatchesExactly) {
+  deploy::DsosStore store;
+  CollectingSink sink(std::chrono::milliseconds(5));
+  auto config = small_config();
+  config.queue_capacity = 2;
+  config.flush_rows = 1;
+  config.policy = stream::BackpressurePolicy::DropOldest;
+  stream::StreamIngestor ingestor(store, config, &sink);
+
+  constexpr std::int64_t kBatches = 30;
+  for (std::int64_t t = 0; t < kBatches; ++t) {
+    // offer() never rejects under DropOldest; it evicts instead.
+    EXPECT_TRUE(ingestor.offer(one_row_batch(100, t)));
+  }
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, static_cast<std::uint64_t>(kBatches));
+  EXPECT_GT(stats.dropped_samples, 0u);  // a 5 ms/batch consumer must shed load
+  EXPECT_EQ(stats.flushed_samples + stats.dropped_samples,
+            static_cast<std::uint64_t>(kBatches));
+  expect_accounting_balances(stats);
+  // Exactly the flushed rows reached the store.
+  EXPECT_EQ(store.query_node(7, 100).values.rows(),
+            static_cast<std::size_t>(stats.flushed_samples));
+}
+
+TEST(StreamIngestTest, DropNewestRejectsAndReportsEachDrop) {
+  deploy::DsosStore store;
+  CollectingSink sink(std::chrono::milliseconds(5));
+  auto config = small_config();
+  config.queue_capacity = 2;
+  config.flush_rows = 1;
+  config.policy = stream::BackpressurePolicy::DropNewest;
+  stream::StreamIngestor ingestor(store, config, &sink);
+
+  constexpr std::int64_t kBatches = 30;
+  std::uint64_t rejected = 0;
+  for (std::int64_t t = 0; t < kBatches; ++t) {
+    if (!ingestor.offer(one_row_batch(100, t))) ++rejected;
+  }
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(stats.dropped_samples, rejected);  // one row per batch
+  EXPECT_EQ(stats.flushed_samples,
+            static_cast<std::uint64_t>(kBatches) - rejected);
+  expect_accounting_balances(stats);
+}
+
+TEST(StreamIngestTest, StopDrainsEverythingAlreadyQueued) {
+  deploy::DsosStore store;
+  CollectingSink sink;
+  auto config = small_config();
+  config.queue_capacity = 64;
+  config.flush_rows = 1'000'000;  // no pressure flush: rows stay pending
+  stream::StreamIngestor ingestor(store, config, &sink);
+
+  for (std::int64_t t = 0; t < 20; ++t) {
+    EXPECT_TRUE(ingestor.offer(one_row_batch(100, t)));
+  }
+  ingestor.stop();  // must drain the queue and flush pending rows
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, 20u);
+  EXPECT_EQ(stats.flushed_samples, 20u);
+  expect_accounting_balances(stats);
+  EXPECT_EQ(store.query_node(7, 100).values.rows(), 20u);
+}
+
+TEST(StreamIngestTest, OfferAfterStopIsRejectedAndCounted) {
+  deploy::DsosStore store;
+  stream::StreamIngestor ingestor(store, small_config(), nullptr);
+  ingestor.stop();
+  ingestor.stop();  // idempotent
+
+  EXPECT_FALSE(ingestor.offer(one_row_batch(100, 1)));
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.offered_samples, 1u);
+  EXPECT_EQ(stats.dropped_samples, 1u);
+  expect_accounting_balances(stats);
+}
+
+TEST(StreamIngestTest, MultiProducerStressBalances) {
+  deploy::DsosStore store;
+  CollectingSink sink;
+  auto config = small_config();
+  config.queue_capacity = 4;
+  config.policy = stream::BackpressurePolicy::Block;
+  stream::StreamIngestor ingestor(store, config, &sink);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::int64_t kTicksPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::int64_t t = 0; t < kTicksPerProducer; ++t) {
+        // Each producer feeds its own component, so timestamps never collide.
+        stream::SampleBatch batch;
+        batch.rows.push_back(make_row(static_cast<std::int64_t>(100 + p), t));
+        batch.rows.push_back(make_row(static_cast<std::int64_t>(200 + p), t));
+        EXPECT_TRUE(ingestor.offer(std::move(batch)));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  const std::uint64_t total = kProducers * kTicksPerProducer * 2;
+  EXPECT_EQ(stats.offered_samples, total);
+  EXPECT_EQ(stats.flushed_samples, total);
+  EXPECT_EQ(stats.dropped_samples, 0u);
+  expect_accounting_balances(stats);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(store.query_node(7, static_cast<std::int64_t>(100 + p)).values.rows(),
+              static_cast<std::size_t>(kTicksPerProducer));
+    EXPECT_EQ(store.query_node(7, static_cast<std::int64_t>(200 + p)).values.rows(),
+              static_cast<std::size_t>(kTicksPerProducer));
+  }
+}
+
+TEST(StreamIngestTest, ForeignStoreWidthCountedMalformed) {
+  deploy::DsosStore store;
+  // The store already holds this node with a different column width.
+  telemetry::NodeSeries foreign;
+  foreign.job_id = 7;
+  foreign.component_id = 100;
+  foreign.app = "other";
+  foreign.values = tensor::Matrix(2, kCols + 3);
+  store.ingest_node(foreign);
+
+  stream::StreamIngestor ingestor(store, small_config(), nullptr);
+  EXPECT_TRUE(ingestor.offer(one_row_batch(100, 1)));
+  ingestor.stop();
+
+  const auto stats = ingestor.stats();
+  EXPECT_EQ(stats.flushed_samples, 0u);
+  EXPECT_EQ(stats.malformed_samples, 1u);
+  expect_accounting_balances(stats);
+  EXPECT_EQ(store.query_node(7, 100).values.rows(), 2u);  // untouched
+}
+
+}  // namespace
