@@ -153,10 +153,18 @@ void Usad::fit_healthy(const tensor::Matrix& X) {
 std::vector<double> Usad::score(const tensor::Matrix& X) const {
   if (!nets_) throw std::logic_error("Usad::score before fit");
   const auto& [encoder, decoder1, decoder2] = *nets_;
-  const tensor::Matrix w1 = decoder1.forward_inference(encoder.forward_inference(X));
-  const tensor::Matrix w3 = decoder2.forward_inference(encoder.forward_inference(w1));
-  const auto direct = tensor::rowwise_mean_squared_error(X, w1);
-  const auto adversarial = tensor::rowwise_mean_squared_error(X, w3);
+  // Per-thread scratch keeps repeated scoring allocation-free (and concurrent
+  // scoring of a shared const model safe); none of these alias the
+  // Mlp-internal inference buffers.
+  thread_local struct {
+    tensor::Matrix latent, w1, latent2, w3;
+  } s;
+  encoder.forward_inference_into(X, s.latent);
+  decoder1.forward_inference_into(s.latent, s.w1);
+  encoder.forward_inference_into(s.w1, s.latent2);
+  decoder2.forward_inference_into(s.latent2, s.w3);
+  const auto direct = tensor::rowwise_mean_squared_error(X, s.w1);
+  const auto adversarial = tensor::rowwise_mean_squared_error(X, s.w3);
   std::vector<double> scores(X.rows());
   for (std::size_t i = 0; i < scores.size(); ++i) {
     scores[i] = config_.alpha * direct[i] + config_.beta * adversarial[i];

@@ -24,6 +24,24 @@ std::vector<nn::LayerSpec> hidden_specs(const std::vector<std::size_t>& sizes,
   return specs;
 }
 
+// Per-thread workspaces for the training step and the inference/score paths.
+// Every matrix is capacity-reused across calls, so steady-state training and
+// scoring allocate nothing; thread_local keeps concurrent scoring of a shared
+// const model race-free.  These never alias the Mlp-internal ping-pong
+// buffers (callers cannot reference those), so handing them to
+// forward_inference_into is safe.
+struct StepScratch {
+  tensor::Matrix eps, sigma, z, grad_z, grad_mu, grad_logvar, grad_hidden,
+      grad_hidden2, grad_input_sink;
+};
+struct InferScratch {
+  tensor::Matrix h, mu, logvar, z, recon;
+};
+
+thread_local StepScratch step_scratch;
+thread_local InferScratch infer_scratch;
+thread_local InferScratch eval_scratch;
+
 }  // namespace
 
 VariationalAutoencoder::VariationalAutoencoder(const VaeConfig& config)
@@ -57,23 +75,27 @@ std::size_t VariationalAutoencoder::parameter_count() const noexcept {
 
 VariationalAutoencoder::StepResult VariationalAutoencoder::forward_backward(
     const tensor::Matrix& x, util::Rng& rng) {
-  // Forward.
-  const tensor::Matrix hidden = encoder_.forward(x);
-  const tensor::Matrix mu = mu_head_.forward(hidden);
-  const tensor::Matrix logvar = logvar_head_.forward(hidden);
+  StepScratch& s = step_scratch;
 
-  tensor::Matrix eps(mu.rows(), mu.cols());
-  for (std::size_t i = 0; i < eps.size(); ++i) eps.data()[i] = rng.gaussian();
+  // Forward.  Layer outputs are references into layer-owned workspaces; the
+  // inputs they view (x, hidden, s.z) all stay alive through the backward
+  // pass below.
+  const tensor::Matrix& hidden = encoder_.forward(x);
+  const tensor::Matrix& mu = mu_head_.forward(hidden);
+  const tensor::Matrix& logvar = logvar_head_.forward(hidden);
 
-  tensor::Matrix z = mu;
-  tensor::Matrix sigma(mu.rows(), mu.cols());
-  for (std::size_t i = 0; i < z.size(); ++i) {
+  s.eps.resize_for_overwrite(mu.rows(), mu.cols());
+  for (std::size_t i = 0; i < s.eps.size(); ++i) s.eps.data()[i] = rng.gaussian();
+
+  s.z = mu;
+  s.sigma.resize_for_overwrite(mu.rows(), mu.cols());
+  for (std::size_t i = 0; i < s.z.size(); ++i) {
     const double lv = std::clamp(logvar.data()[i], -kLogvarClamp, kLogvarClamp);
-    sigma.data()[i] = std::exp(0.5 * lv);
-    z.data()[i] += sigma.data()[i] * eps.data()[i];
+    s.sigma.data()[i] = std::exp(0.5 * lv);
+    s.z.data()[i] += s.sigma.data()[i] * s.eps.data()[i];
   }
 
-  const tensor::Matrix reconstruction = decoder_.forward(z);
+  const tensor::Matrix& reconstruction = decoder_.forward(s.z);
 
   // Losses.
   const nn::LossResult recon = config_.recon_loss == ReconLoss::Mse
@@ -82,25 +104,26 @@ VariationalAutoencoder::StepResult VariationalAutoencoder::forward_backward(
   const nn::KlResult kl = nn::gaussian_kl(mu, logvar);
 
   // Backward through decoder to the latent sample.
-  const tensor::Matrix grad_z = decoder_.backward(recon.grad);
+  decoder_.backward_into(recon.grad, s.grad_z);
 
   // Reparameterization: dL/dmu = dL/dz ; dL/dlogvar = dL/dz * 0.5*sigma*eps.
-  tensor::Matrix grad_mu = grad_z;
-  tensor::Matrix grad_logvar(grad_z.rows(), grad_z.cols());
-  for (std::size_t i = 0; i < grad_z.size(); ++i) {
-    grad_logvar.data()[i] =
-        grad_z.data()[i] * 0.5 * sigma.data()[i] * eps.data()[i];
+  s.grad_mu = s.grad_z;
+  s.grad_logvar.resize_for_overwrite(s.grad_z.rows(), s.grad_z.cols());
+  for (std::size_t i = 0; i < s.grad_z.size(); ++i) {
+    s.grad_logvar.data()[i] =
+        s.grad_z.data()[i] * 0.5 * s.sigma.data()[i] * s.eps.data()[i];
   }
   // Plus the KL term's direct gradients.
-  for (std::size_t i = 0; i < grad_mu.size(); ++i) {
-    grad_mu.data()[i] += config_.kl_weight * kl.grad_mu.data()[i];
-    grad_logvar.data()[i] += config_.kl_weight * kl.grad_logvar.data()[i];
+  for (std::size_t i = 0; i < s.grad_mu.size(); ++i) {
+    s.grad_mu.data()[i] += config_.kl_weight * kl.grad_mu.data()[i];
+    s.grad_logvar.data()[i] += config_.kl_weight * kl.grad_logvar.data()[i];
   }
 
   // Backward through the two heads into the shared encoder trunk.
-  tensor::Matrix grad_hidden = mu_head_.backward(grad_mu);
-  grad_hidden += logvar_head_.backward(grad_logvar);
-  encoder_.backward(grad_hidden);
+  mu_head_.backward_into(s.grad_mu, s.grad_hidden);
+  logvar_head_.backward_into(s.grad_logvar, s.grad_hidden2);
+  s.grad_hidden += s.grad_hidden2;
+  encoder_.backward_into(s.grad_hidden, s.grad_input_sink);
 
   return {recon.value, kl.value};
 }
@@ -190,16 +213,27 @@ nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
 }
 
 tensor::Matrix VariationalAutoencoder::encode_mean(const tensor::Matrix& X) const {
-  return mu_head_.forward_inference(encoder_.forward_inference(X));
+  InferScratch& s = infer_scratch;
+  encoder_.forward_inference_into(X, s.h);
+  return mu_head_.forward_inference(s.h);
 }
 
 tensor::Matrix VariationalAutoencoder::reconstruct(const tensor::Matrix& X) const {
-  return decoder_.forward_inference(encode_mean(X));
+  InferScratch& s = infer_scratch;
+  encoder_.forward_inference_into(X, s.h);
+  mu_head_.forward_inference_into(s.h, s.mu);
+  return decoder_.forward_inference(s.mu);
 }
 
 std::vector<double> VariationalAutoencoder::reconstruction_error(
     const tensor::Matrix& X) const {
-  return tensor::rowwise_mean_abs_error(X, reconstruct(X));
+  // The anomaly-score hot path: every stage writes into per-thread scratch,
+  // so a warmed-up thread scores with zero matrix allocations.
+  InferScratch& s = infer_scratch;
+  encoder_.forward_inference_into(X, s.h);
+  mu_head_.forward_inference_into(s.h, s.mu);
+  decoder_.forward_inference_into(s.mu, s.recon);
+  return tensor::rowwise_mean_abs_error(X, s.recon);
 }
 
 tensor::Matrix VariationalAutoencoder::sample(std::size_t n, util::Rng& rng) const {
@@ -210,20 +244,21 @@ tensor::Matrix VariationalAutoencoder::sample(std::size_t n, util::Rng& rng) con
 
 double VariationalAutoencoder::evaluate_loss(const tensor::Matrix& X,
                                              util::Rng& rng) const {
-  const tensor::Matrix hidden = encoder_.forward_inference(X);
-  const tensor::Matrix mu = mu_head_.forward_inference(hidden);
-  const tensor::Matrix logvar = logvar_head_.forward_inference(hidden);
+  InferScratch& s = eval_scratch;
+  encoder_.forward_inference_into(X, s.h);
+  mu_head_.forward_inference_into(s.h, s.mu);
+  logvar_head_.forward_inference_into(s.h, s.logvar);
 
-  tensor::Matrix z = mu;
-  for (std::size_t i = 0; i < z.size(); ++i) {
-    const double lv = std::clamp(logvar.data()[i], -kLogvarClamp, kLogvarClamp);
-    z.data()[i] += std::exp(0.5 * lv) * rng.gaussian();
+  s.z = s.mu;
+  for (std::size_t i = 0; i < s.z.size(); ++i) {
+    const double lv = std::clamp(s.logvar.data()[i], -kLogvarClamp, kLogvarClamp);
+    s.z.data()[i] += std::exp(0.5 * lv) * rng.gaussian();
   }
-  const tensor::Matrix reconstruction = decoder_.forward_inference(z);
+  decoder_.forward_inference_into(s.z, s.recon);
   const double recon = config_.recon_loss == ReconLoss::Mse
-                           ? nn::mse_loss(reconstruction, X).value
-                           : nn::mae_loss(reconstruction, X).value;
-  return recon + config_.kl_weight * nn::gaussian_kl(mu, logvar).value;
+                           ? nn::mse_loss(s.recon, X).value
+                           : nn::mae_loss(s.recon, X).value;
+  return recon + config_.kl_weight * nn::gaussian_kl(s.mu, s.logvar).value;
 }
 
 void VariationalAutoencoder::save(util::BinaryWriter& writer) const {

@@ -1,10 +1,30 @@
 #include "nn/dense.hpp"
 
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace prodigy::nn {
+
+namespace {
+
+tensor::kernels::FusedAct fused(Activation act) {
+  switch (act) {
+    case Activation::Linear:
+      return tensor::kernels::FusedAct::None;
+    case Activation::ReLU:
+      return tensor::kernels::FusedAct::ReLU;
+    case Activation::Tanh:
+      return tensor::kernels::FusedAct::Tanh;
+    case Activation::Sigmoid:
+      return tensor::kernels::FusedAct::Sigmoid;
+  }
+  return tensor::kernels::FusedAct::None;
+}
+
+}  // namespace
 
 Dense::Dense(std::size_t in_features, std::size_t out_features, Activation act,
              util::Rng& rng)
@@ -26,32 +46,50 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Activation act,
   }
 }
 
-tensor::Matrix Dense::forward(const tensor::Matrix& input) {
-  cached_input_ = input;
-  tensor::Matrix out = tensor::matmul(input, weights_);
-  tensor::add_row_vector(out, bias_);
-  apply_activation(act_, out);
-  cached_output_ = out;
-  return out;
+const tensor::Matrix& Dense::forward(const tensor::Matrix& input) {
+  cached_input_ = {input.data(), input.rows(), input.cols()};
+  tensor::kernels::dense_forward(input, weights_, bias_, fused(act_),
+                                 cached_output_);
+  return cached_output_;
 }
 
 tensor::Matrix Dense::forward_inference(const tensor::Matrix& input) const {
-  tensor::Matrix out = tensor::matmul(input, weights_);
-  tensor::add_row_vector(out, bias_);
-  apply_activation(act_, out);
+  tensor::Matrix out;
+  forward_inference_into(input, out);
   return out;
 }
 
+void Dense::forward_inference_into(const tensor::Matrix& input,
+                                   tensor::Matrix& out) const {
+  tensor::kernels::dense_forward(input, weights_, bias_, fused(act_), out);
+}
+
 tensor::Matrix Dense::backward(const tensor::Matrix& grad_output) {
-  tensor::Matrix grad_pre = grad_output;
-  apply_activation_gradient(act_, cached_output_, grad_pre);
+  tensor::Matrix grad_input;
+  backward_into(grad_output, grad_input);
+  return grad_input;
+}
 
-  // Accumulate parameter gradients.
-  weight_grad_ += tensor::matmul_transposed_a(cached_input_, grad_pre);
-  const auto bias_delta = tensor::column_sums(grad_pre);
-  for (std::size_t i = 0; i < bias_grad_.size(); ++i) bias_grad_[i] += bias_delta[i];
+void Dense::backward_into(const tensor::Matrix& grad_output,
+                          tensor::Matrix& grad_input) {
+  grad_pre_.resize_for_overwrite(grad_output.rows(), grad_output.cols());
+  std::copy(grad_output.data(), grad_output.data() + grad_output.size(),
+            grad_pre_.data());
+  apply_activation_gradient(act_, cached_output_, grad_pre_);
 
-  return tensor::matmul_transposed_b(grad_pre, weights_);
+  // Accumulate parameter gradients in place: weight_grad_ += X^T * grad_pre
+  // through the TN kernel's accumulate epilogue (no temporary), bias_grad_
+  // through the order-preserving column-sum helper.  The cached input is a
+  // borrowed view, so the raw-pointer kernel entry point is used directly.
+  tensor::kernels::Epilogue accumulate;
+  accumulate.accumulate = true;
+  tensor::kernels::gemm(tensor::kernels::Layout::TN, in_, out_,
+                        cached_input_.rows, cached_input_.data,
+                        cached_input_.cols, grad_pre_.data(), grad_pre_.cols(),
+                        weight_grad_.data(), weight_grad_.cols(), accumulate);
+  tensor::kernels::column_sums_accumulate(grad_pre_, bias_grad_);
+
+  tensor::matmul_transposed_b_into(grad_pre_, weights_, grad_input);
 }
 
 void Dense::zero_gradients() noexcept {

@@ -16,24 +16,61 @@ Mlp::Mlp(std::size_t input_dim, const std::vector<LayerSpec>& specs, util::Rng& 
   }
 }
 
-tensor::Matrix Mlp::forward(const tensor::Matrix& input) {
-  tensor::Matrix current = input;
-  for (auto& layer : layers_) current = layer.forward(current);
-  return current;
+const tensor::Matrix& Mlp::forward(const tensor::Matrix& input) {
+  // Each layer writes into its own capacity-reused output buffer and keeps a
+  // borrowed view of its input, so the chain allocates nothing after warmup.
+  // Layer i's input is layer i-1's owned output, which stays stable through
+  // backward().
+  const tensor::Matrix* current = &input;
+  for (auto& layer : layers_) current = &layer.forward(*current);
+  return *current;
 }
 
 tensor::Matrix Mlp::forward_inference(const tensor::Matrix& input) const {
-  tensor::Matrix current = input;
-  for (const auto& layer : layers_) current = layer.forward_inference(current);
-  return current;
+  tensor::Matrix out;
+  forward_inference_into(input, out);
+  return out;
+}
+
+void Mlp::forward_inference_into(const tensor::Matrix& input,
+                                 tensor::Matrix& out) const {
+  if (layers_.empty()) {
+    out = input;
+    return;
+  }
+  // Ping-pong between two per-thread scratch buffers; the last layer writes
+  // straight into `out`.  thread_local keeps concurrent scoring of a shared
+  // const model safe.  Callers can never hold references to these buffers,
+  // so `input` cannot alias them.
+  thread_local tensor::Matrix ping, pong;
+  tensor::Matrix* scratch[2] = {&ping, &pong};
+  const tensor::Matrix* current = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    tensor::Matrix* dst = i + 1 == layers_.size() ? &out : scratch[i % 2];
+    layers_[i].forward_inference_into(*current, *dst);
+    current = dst;
+  }
 }
 
 tensor::Matrix Mlp::backward(const tensor::Matrix& grad_output) {
-  tensor::Matrix grad = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = it->backward(grad);
+  tensor::Matrix grad_input;
+  backward_into(grad_output, grad_input);
+  return grad_input;
+}
+
+void Mlp::backward_into(const tensor::Matrix& grad_output,
+                        tensor::Matrix& grad_input) {
+  if (layers_.empty()) {
+    grad_input = grad_output;
+    return;
   }
-  return grad;
+  const tensor::Matrix* current = &grad_output;
+  for (std::size_t step = 0; step < layers_.size(); ++step) {
+    const std::size_t i = layers_.size() - 1 - step;
+    tensor::Matrix* dst = i == 0 ? &grad_input : &grad_scratch_[step % 2];
+    layers_[i].backward_into(*current, *dst);
+    current = dst;
+  }
 }
 
 void Mlp::zero_gradients() noexcept {

@@ -32,15 +32,28 @@ class Mlp {
   Dense& layer(std::size_t i) { return layers_.at(i); }
   const Dense& layer(std::size_t i) const { return layers_.at(i); }
 
-  /// Training forward pass; caches per-layer state for backward().
-  tensor::Matrix forward(const tensor::Matrix& input);
+  /// Training forward pass; caches per-layer state for backward().  Returns
+  /// a reference to the last layer's owned output (or to `input` itself for
+  /// an empty stack); it stays valid until the next forward() and `input`
+  /// must outlive the matching backward().
+  const tensor::Matrix& forward(const tensor::Matrix& input);
 
-  /// Inference forward pass without caching.
+  /// Inference forward pass without caching (const, thread-safe).
   tensor::Matrix forward_inference(const tensor::Matrix& input) const;
+
+  /// Same, writing into a caller-owned buffer (capacity-reused, so repeated
+  /// calls are allocation-free after warmup).  `out` must not alias `input`.
+  void forward_inference_into(const tensor::Matrix& input,
+                              tensor::Matrix& out) const;
 
   /// Backpropagates dL/d(output); accumulates layer gradients and returns
   /// dL/d(input).
   tensor::Matrix backward(const tensor::Matrix& grad_output);
+
+  /// Same, writing dL/d(input) into a caller-owned buffer that must not
+  /// alias `grad_output`.
+  void backward_into(const tensor::Matrix& grad_output,
+                     tensor::Matrix& grad_input);
 
   void zero_gradients() noexcept;
 
@@ -55,6 +68,7 @@ class Mlp {
  private:
   std::size_t input_dim_ = 0;
   std::vector<Dense> layers_;
+  tensor::Matrix grad_scratch_[2];  // backward ping-pong workspace
 };
 
 }  // namespace prodigy::nn

@@ -122,7 +122,10 @@ void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
         pipeline::preprocess_node(window.values, kinds_, config_.preprocess);
     const std::vector<double> features =
         features::extract_node_features(prepared);
-    tensor::Matrix X(1, features.size());
+    // Capacity-reused per worker thread: one warmed-up 1 x F buffer per
+    // scoring thread instead of a fresh heap matrix per window.
+    thread_local tensor::Matrix X;
+    X.resize_for_overwrite(1, features.size());
     X.set_row(0, features);
     const auto scores = bundle_.detector.score(bundle_.transform_full(X));
 

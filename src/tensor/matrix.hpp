@@ -50,6 +50,15 @@ class Matrix {
   std::vector<double>& storage() noexcept { return data_; }
   const std::vector<double>& storage() const noexcept { return data_; }
 
+  /// Reshapes to rows x cols without preserving contents.  Capacity is
+  /// reused (never shrunk), so out-parameter kernels that write every
+  /// element become allocation-free once a workspace matrix has warmed up.
+  void resize_for_overwrite(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Returns a copy of column `c`.
   std::vector<double> column(std::size_t c) const;
   void set_column(std::size_t c, std::span<const double> values);

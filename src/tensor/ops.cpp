@@ -1,5 +1,6 @@
 #include "tensor/ops.hpp"
 
+#include "tensor/kernels.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
@@ -10,100 +11,82 @@ namespace prodigy::tensor {
 
 namespace {
 
-constexpr std::size_t kBlock = 64;          // cache-block edge for GEMM
+constexpr std::size_t kBlock = 64;                // cache-block edge (transpose)
 constexpr std::size_t kParallelFlops = 1u << 20;  // threshold for threading
-
-void check_inner(std::size_t a_cols, std::size_t b_rows, const char* op) {
-  if (a_cols != b_rows) {
-    throw std::invalid_argument(std::string(op) + ": inner dimensions differ (" +
-                                std::to_string(a_cols) + " vs " +
-                                std::to_string(b_rows) + ")");
-  }
-}
-
-// Multiplies the row band [r0, r1) of A into C.  B is indexed (k, j).
-void gemm_rows(const Matrix& a, const Matrix& b, Matrix& c, std::size_t r0,
-               std::size_t r1) {
-  const std::size_t n = b.cols();
-  const std::size_t inner = a.cols();
-  for (std::size_t kk = 0; kk < inner; kk += kBlock) {
-    const std::size_t k_hi = std::min(inner, kk + kBlock);
-    for (std::size_t r = r0; r < r1; ++r) {
-      const double* a_row = a.data() + r * inner;
-      double* c_row = c.data() + r * n;
-      // No zero-skip: dense weights make the branch useless, and skipping a
-      // zero a_val would silently absorb NaN/Inf from B (0 * NaN must stay
-      // NaN so bad activations propagate instead of vanishing).
-      for (std::size_t k = kk; k < k_hi; ++k) {
-        const double a_val = a_row[k];
-        const double* b_row = b.data() + k * n;
-        for (std::size_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
-      }
-    }
-  }
-}
 
 }  // namespace
 
+// All three matmul layouts lower onto the shared register-tiled micro-kernel
+// in tensor/kernels.cpp.  Accumulation there is the same ascending-k order as
+// the historical scalar loops, so results are bit-identical to the previous
+// implementation (and to the naive oracle) for every shape and pool size.
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  check_inner(a.cols(), b.rows(), "matmul");
-  Matrix c(a.rows(), b.cols());
-  const std::size_t flops = a.rows() * a.cols() * b.cols();
-  if (flops < kParallelFlops || a.rows() < 2) {
-    gemm_rows(a, b, c, 0, a.rows());
-  } else {
-    util::parallel_for(0, a.rows(),
-                       [&](std::size_t r) { gemm_rows(a, b, c, r, r + 1); }, 8);
-  }
+  Matrix c;
+  matmul_into(a, b, c);
   return c;
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  kernels::gemm(kernels::Layout::NN, a, b, c);
 }
 
 Matrix matmul_transposed_b(const Matrix& a, const Matrix& b) {
-  check_inner(a.cols(), b.cols(), "matmul_transposed_b");
-  Matrix c(a.rows(), b.rows());
-  const std::size_t inner = a.cols();
-  auto body = [&](std::size_t r) {
-    const double* a_row = a.data() + r * inner;
-    double* c_row = c.data() + r * b.rows();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.data() + j * inner;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
-      c_row[j] = acc;
-    }
-  };
-  const std::size_t flops = a.rows() * inner * b.rows();
-  if (flops < kParallelFlops) {
-    for (std::size_t r = 0; r < a.rows(); ++r) body(r);
-  } else {
-    util::parallel_for(0, a.rows(), body, 8);
-  }
+  Matrix c;
+  matmul_transposed_b_into(a, b, c);
   return c;
+}
+
+void matmul_transposed_b_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  kernels::gemm(kernels::Layout::NT, a, b, c);
 }
 
 Matrix matmul_transposed_a(const Matrix& a, const Matrix& b) {
-  check_inner(a.rows(), b.rows(), "matmul_transposed_a");
-  Matrix c(a.cols(), b.cols());
-  // C[i][j] = sum_k A[k][i] * B[k][j]; accumulate row bands of B.
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.data() + k * a.cols();
-    const double* b_row = b.data() + k * b.cols();
-    // No zero-skip, for the same NaN-propagation reason as gemm_rows.
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double a_val = a_row[i];
-      double* c_row = c.data() + i * b.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) c_row[j] += a_val * b_row[j];
-    }
-  }
+  Matrix c;
+  matmul_transposed_a_into(a, b, c);
   return c;
 }
 
+void matmul_transposed_a_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  kernels::gemm(kernels::Layout::TN, a, b, c);
+}
+
+void matmul_transposed_a_accumulate(const Matrix& a, const Matrix& b,
+                                    Matrix& c) {
+  kernels::Epilogue ep;
+  ep.accumulate = true;
+  kernels::gemm(kernels::Layout::TN, a, b, c, ep);
+}
+
 Matrix transpose(const Matrix& a) {
-  Matrix out(a.cols(), a.rows());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
-  }
+  Matrix out;
+  transpose_into(a, out);
   return out;
+}
+
+void transpose_into(const Matrix& a, Matrix& out) {
+  out.resize_for_overwrite(a.cols(), a.rows());
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  // Blocked so both the kBlock x kBlock read tile and write tile stay cache
+  // resident; row-tile bands go wide when the matrix is large enough.
+  auto band = [&](std::size_t rb) {
+    const std::size_t r0 = rb * kBlock;
+    const std::size_t r1 = std::min(rows, r0 + kBlock);
+    for (std::size_t c0 = 0; c0 < cols; c0 += kBlock) {
+      const std::size_t c1 = std::min(cols, c0 + kBlock);
+      for (std::size_t r = r0; r < r1; ++r) {
+        const double* src = a.data() + r * cols;
+        for (std::size_t c = c0; c < c1; ++c) out.data()[c * rows + r] = src[c];
+      }
+    }
+  };
+  const std::size_t row_tiles = (rows + kBlock - 1) / kBlock;
+  if (rows * cols < kParallelFlops || row_tiles < 2) {
+    for (std::size_t rb = 0; rb < row_tiles; ++rb) band(rb);
+  } else {
+    util::parallel_for(0, row_tiles, band, 1);
+  }
 }
 
 void add_row_vector(Matrix& m, std::span<const double> bias) {

@@ -9,17 +9,31 @@
 
 namespace prodigy::tensor {
 
-/// C = A * B.  Cache-blocked; rows of A are distributed over the thread pool
-/// when the product is large enough to amortize the dispatch.
+// The GEMM entry points below all lower onto the register-tiled kernels in
+// tensor/kernels.hpp; see that header for the determinism and NaN contract.
+// The `_into` variants write into a caller-owned matrix (resized with
+// capacity reuse) so hot paths can stay allocation-free after warmup.
+
+/// C = A * B.  Register-tiled and cache-blocked; bands of C are distributed
+/// over the thread pool when the product is large enough to amortize the
+/// dispatch.
 Matrix matmul(const Matrix& a, const Matrix& b);
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A * B^T without materializing the transpose.
 Matrix matmul_transposed_b(const Matrix& a, const Matrix& b);
+void matmul_transposed_b_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A^T * B without materializing the transpose.
 Matrix matmul_transposed_a(const Matrix& a, const Matrix& b);
+void matmul_transposed_a_into(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A^T * B in place (no temporary), for gradient accumulation.
+void matmul_transposed_a_accumulate(const Matrix& a, const Matrix& b,
+                                    Matrix& c);
 
 Matrix transpose(const Matrix& a);
+void transpose_into(const Matrix& a, Matrix& out);
 
 /// Adds `bias` (length = cols) to every row of `m` in place.
 void add_row_vector(Matrix& m, std::span<const double> bias);
