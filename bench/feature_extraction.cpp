@@ -6,6 +6,7 @@
 // metrics registry (stage histograms) after the run.
 #include "bench_common.hpp"
 
+#include "features/incremental_profile.hpp"
 #include "features/registry.hpp"
 #include "features/series_profile.hpp"
 #include "util/metrics.hpp"
@@ -82,6 +83,63 @@ void BM_SeriesProfile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SeriesProfile)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Per-hop cost of the incremental extractor: absorb `hop` new rows and
+/// emit all features for the sliding window.  Compare against
+/// BM_FullRecomputeHop at the same (window, hop) — the incremental engine's
+/// reason to exist is this per-hop delta.  Single metric column so the
+/// numbers isolate the per-series engines (no parallel_for fan-out noise).
+void BM_IncrementalHop(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const auto hop = static_cast<std::size_t>(state.range(1));
+  features::IncrementalConfig config;
+  config.window = window;
+  config.hop = hop;
+  features::IncrementalNodeExtractor extractor(
+      1, {features::ColumnKind::kGauge}, config);
+  std::vector<double> out(features::features_per_metric());
+  // A long random ribbon replayed in hop-sized deltas (wraps around).
+  const tensor::Matrix ribbon = make_window(window * 8, 1, 17);
+  extractor.absorb_and_extract(ribbon.slice_rows(0, window), out);
+  std::size_t at = window;
+  for (auto _ : state) {
+    if (at + hop > ribbon.rows()) at = 0;  // keep feeding; window stays full
+    extractor.absorb_and_extract(ribbon.slice_rows(at, hop), out);
+    benchmark::DoNotOptimize(out.data());
+    at += hop;
+  }
+  state.counters["sdft"] = extractor.uses_sliding_dft() ? 1.0 : 0.0;
+  state.counters["hops_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IncrementalHop)
+    ->Args({256, 16})
+    ->Args({1024, 16})
+    ->Args({1024, 64})
+    ->Args({4096, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The same per-hop workload through the batch path: rebuild the window
+/// and run the full single-pass engine (what the streaming scorer's
+/// kFullRecompute mode pays per hop).
+void BM_FullRecomputeHop(benchmark::State& state) {
+  const auto window = static_cast<std::size_t>(state.range(0));
+  const auto xs = make_series(window, 17);
+  std::vector<double> out(features::features_per_metric());
+  features::FeatureScratch scratch;
+  for (auto _ : state) {
+    features::compute_all_features(xs, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["hops_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullRecomputeHop)
+    ->Args({256, 16})
+    ->Args({1024, 16})
+    ->Args({1024, 64})
+    ->Args({4096, 16})
     ->Unit(benchmark::kMicrosecond);
 
 /// Per-group cost over an already-built profile: how the registry's time

@@ -10,7 +10,24 @@ namespace prodigy::features {
 namespace {
 // Values in [-1e-9, 0) are treated as floating-point noise around zero.
 constexpr double kNegativeNoiseEpsilon = -1e-9;
+// Denominator substitute when expected == 0 but observed > 0 (possible when
+// total * p_class underflows under extreme imbalance): 0.5 is the standard
+// pseudo-count / continuity-style correction.
+constexpr double kZeroExpectedPseudoCount = 0.5;
 }  // namespace
+
+double chi2_term(double observed, double expected) noexcept {
+  if (expected > 0.0) {
+    const double d = observed - expected;
+    return d * d / expected;
+  }
+  if (observed > 0.0) {
+    // Historically this cell was silently skipped, scoring an impossibly
+    // surprising observation as zero evidence.
+    return observed * observed / kZeroExpectedPseudoCount;
+  }
+  return 0.0;
+}
 
 std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>& y) {
   if (X.rows() != y.size()) {
@@ -59,16 +76,8 @@ std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>&
     }
     const double expected_pos = total * p_pos;
     const double expected_neg = total * p_neg;
-    double chi2 = 0.0;
-    if (expected_pos > 0.0) {
-      const double d = observed_pos[c] - expected_pos;
-      chi2 += d * d / expected_pos;
-    }
-    if (expected_neg > 0.0) {
-      const double d = observed_neg[c] - expected_neg;
-      chi2 += d * d / expected_neg;
-    }
-    scores[c] = chi2;
+    scores[c] = chi2_term(observed_pos[c], expected_pos) +
+                chi2_term(observed_neg[c], expected_neg);
   }
   return scores;
 }

@@ -17,6 +17,16 @@ namespace prodigy::features {
 /// first, as the pipeline does); y holds class labels {0, 1}.
 std::vector<double> chi2_scores(const tensor::Matrix& X, const std::vector<int>& y);
 
+/// One cell's contribution (observed - expected)^2 / expected.  A zero
+/// expectation with nonzero observation historically contributed nothing
+/// (the guard silently skipped the cell, understating the statistic when
+/// `expected` underflows to 0 for an extreme class imbalance); it now uses
+/// a pseudo-count denominator of 0.5 — half the smallest meaningful
+/// frequency, the standard continuity-style correction — so the cell
+/// contributes a large-but-finite score.  expected == 0 && observed == 0
+/// contributes 0.
+double chi2_term(double observed, double expected) noexcept;
+
 /// Indices of the k largest scores, in descending score order.
 std::vector<std::size_t> top_k_indices(const std::vector<double>& scores,
                                        std::size_t k);

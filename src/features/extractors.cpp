@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <array>
 #include <cmath>
+#include <numeric>
 #include <vector>
 
 namespace prodigy::features {
@@ -67,9 +68,9 @@ double value_range(std::span<const double> xs) noexcept {
 
 double interquartile_range(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
-  return tensor::quantile_sorted(sorted, 0.75) - tensor::quantile_sorted(sorted, 0.25);
+  // tensor::quantile propagates NaN instead of sorting it (UB); the IQR of
+  // a NaN-bearing series is NaN, matching the grouped registry path.
+  return tensor::quantile(xs, 0.75) - tensor::quantile(xs, 0.25);
 }
 
 namespace {
@@ -253,6 +254,12 @@ double approximate_entropy(std::span<const double> xs, std::size_t m, double r_f
   if (n < m + 2) return 0.0;
   const double r = r_frac * tensor::stddev(series);
   if (r == 0.0) return 0.0;
+  // Non-finite tolerance (NaN/inf values in the window make stddev NaN or
+  // inf): every `> r` mismatch test below is false, so the historical loop
+  // counted every pair as a match in both dims, making phi_lo == phi_hi ==
+  // log(1) == 0 exactly.  Short-circuit that result here — it also keeps
+  // NaNs away from the sort in the prefilter.
+  if (!std::isfinite(r)) return 0.0;
 
   // Exact pair-match counts for embedding dims m and m+1 in one symmetric
   // sweep: a dim-(m+1) match is a dim-m match whose next component also
@@ -265,34 +272,79 @@ double approximate_entropy(std::span<const double> xs, std::size_t m, double r_f
   const std::size_t count_hi = n - m;      // windows of length m+1
   std::vector<std::uint32_t> matches_lo(count_lo, 1);  // self-match
   std::vector<std::uint32_t> matches_hi(count_hi, 1);
-  for (std::size_t i = 0; i < count_lo; ++i) {
-    for (std::size_t j = i + 1; j < count_lo; ++j) {
-      bool match = true;
-      for (std::size_t k = 0; k < m && match; ++k) {
-        if (std::abs(series[i + k] - series[j + k]) > r) match = false;
+  if (m == 0) {
+    // Length-0 windows all match; only the dim-1 extension is tested.
+    for (std::size_t i = 0; i < count_lo; ++i) {
+      for (std::size_t j = i + 1; j < count_lo; ++j) {
+        ++matches_lo[i];
+        ++matches_lo[j];
+        if (j < count_hi && !(std::abs(series[i] - series[j]) > r)) {
+          ++matches_hi[i];
+          ++matches_hi[j];
+        }
       }
-      if (!match) continue;
-      ++matches_lo[i];
-      ++matches_lo[j];
-      // Negated form of the historical `> r` mismatch test (not `<= r`):
-      // with NaN-bearing input r is NaN, every comparison is false, and the
-      // historical loop treated everything as a match in both dims.
-      if (j < count_hi && !(std::abs(series[i + m] - series[j + m]) > r)) {
-        ++matches_hi[i];
-        ++matches_hi[j];
+    }
+  } else {
+    // Dim-1 prefilter: a pair can only match if its first components are
+    // within r, and those pairs form contiguous runs once the window-start
+    // indices are sorted by first component.  This visits exactly the pairs
+    // whose k == 0 comparison would have passed — for the r = 0.2 sigma
+    // call site on noisy telemetry that is ~10% of all pairs — and the
+    // counts it produces are identical integers, so the feature value is
+    // bit-for-bit unchanged.
+    std::vector<std::pair<double, std::uint32_t>> order(count_lo);
+    for (std::size_t i = 0; i < count_lo; ++i) {
+      order[i] = {series[i], static_cast<std::uint32_t>(i)};
+    }
+    // Sorting (value, index) pairs keeps the run scan's value loads local
+    // (no indirection back into `series`); tie order is irrelevant because
+    // only the set of visited pairs matters, and it is value-determined.
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t a = 0; a < count_lo; ++a) {
+      const std::size_t i = order[a].second;
+      const double vi = order[a].first;
+      for (std::size_t b = a + 1; b < count_lo; ++b) {
+        if (order[b].first - vi > r) break;  // sorted: later b is farther
+        const std::size_t j = order[b].second;
+        bool match = true;
+        for (std::size_t k = 1; k < m && match; ++k) {
+          if (std::abs(series[i + k] - series[j + k]) > r) match = false;
+        }
+        if (!match) continue;
+        ++matches_lo[i];
+        ++matches_lo[j];
+        if (std::max(i, j) < count_hi &&
+            !(std::abs(series[i + m] - series[j + m]) > r)) {
+          ++matches_hi[i];
+          ++matches_hi[j];
+        }
       }
     }
   }
 
-  auto phi = [](std::span<const std::uint32_t> matches) {
+  // Match counts are small integers in [1, count], so the log terms repeat
+  // heavily; precompute log(k / count) once per distinct count (two per
+  // call, stable across calls at a fixed window size).  Each table entry is
+  // the same expression the loop evaluated inline, and the summation stays
+  // in index order, so the result is bit-identical.
+  auto phi = [](std::span<const std::uint32_t> matches,
+                std::vector<double>& table) {
     const double count = static_cast<double>(matches.size());
-    double total = 0.0;
-    for (const auto matched : matches) {
-      total += std::log(static_cast<double>(matched) / count);
+    if (table.size() != matches.size() + 1) {
+      table.resize(matches.size() + 1);
+      for (std::size_t k = 1; k <= matches.size(); ++k) {
+        table[k] = std::log(static_cast<double>(k) / count);
+      }
     }
+    double total = 0.0;
+    for (const auto matched : matches) total += table[matched];
     return total / count;
   };
-  return std::abs(phi(matches_lo) - phi(matches_hi));
+  thread_local std::vector<double> log_table_lo;
+  thread_local std::vector<double> log_table_hi;
+  return std::abs(phi(matches_lo, log_table_lo) -
+                  phi(matches_hi, log_table_hi));
 }
 
 double binned_entropy(std::span<const double> xs, std::size_t max_bins,
@@ -321,26 +373,39 @@ double binned_entropy(std::span<const double> xs, std::size_t max_bins) {
                         tensor::max_value(xs));
 }
 
-double benford_correlation(std::span<const double> xs) {
-  std::array<double, 9> observed{};
-  std::size_t counted = 0;
-  for (double x : xs) {
-    double v = std::abs(x);
-    if (v == 0.0 || !std::isfinite(v)) continue;
-    while (v >= 10.0) v /= 10.0;
-    while (v < 1.0) v *= 10.0;
-    const auto digit = static_cast<std::size_t>(v);  // 1..9
-    observed[digit - 1] += 1.0;
-    ++counted;
-  }
-  if (counted == 0) return 0.0;
-  for (auto& count : observed) count /= static_cast<double>(counted);
+int benford_first_digit(double x) noexcept {
+  double v = std::abs(x);
+  if (v == 0.0 || !std::isfinite(v)) return 0;
+  while (v >= 10.0) v /= 10.0;
+  while (v < 1.0) v *= 10.0;
+  return static_cast<int>(v);  // 1..9
+}
 
+double benford_correlation_from_counts(
+    const std::array<std::uint32_t, 9>& counts, std::size_t counted) {
+  if (counted == 0) return 0.0;
+  std::array<double, 9> observed{};
+  for (std::size_t i = 0; i < 9; ++i) {
+    observed[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(counted);
+  }
   std::array<double, 9> benford{};
   for (std::size_t d = 1; d <= 9; ++d) {
     benford[d - 1] = std::log10(1.0 + 1.0 / static_cast<double>(d));
   }
   return tensor::pearson_correlation(observed, benford);
+}
+
+double benford_correlation(std::span<const double> xs) {
+  std::array<std::uint32_t, 9> counts{};
+  std::size_t counted = 0;
+  for (double x : xs) {
+    const int digit = benford_first_digit(x);
+    if (digit == 0) continue;
+    ++counts[static_cast<std::size_t>(digit - 1)];
+    ++counted;
+  }
+  return benford_correlation_from_counts(counts, counted);
 }
 
 LinearTrendResult linear_trend(std::span<const double> xs) noexcept {

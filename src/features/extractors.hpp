@@ -9,6 +9,8 @@
 // short) instead of propagating NaN into the feature matrix.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <span>
 
 namespace prodigy::features {
@@ -75,6 +77,14 @@ double binned_entropy(std::span<const double> xs, std::size_t max_bins,
 /// Pearson correlation between the first-digit distribution of xs and the
 /// Benford distribution (Hill 1995), as used by TSFRESH.
 double benford_correlation(std::span<const double> xs);
+/// First significant decimal digit of |x| (1..9), or 0 for zero/non-finite
+/// samples (those are excluded from the Benford histogram).
+int benford_first_digit(double x) noexcept;
+/// Benford correlation from a first-digit histogram (counts[d-1] = samples
+/// with first digit d, `counted` their total).  The span overload tallies
+/// and delegates here; the incremental engine slides the counts instead.
+double benford_correlation_from_counts(
+    const std::array<std::uint32_t, 9>& counts, std::size_t counted);
 
 // --- trend ---
 struct LinearTrendResult {

@@ -44,6 +44,16 @@ void power_spectrum(std::span<const double> xs,
     power.assign(1, 0.0);
     return;
   }
+  // Zero-padding audit (odd/non-power-of-two lengths): padding to 2^m does
+  // NOT change the frequency axis, only its sampling.  Bin k of a P-point
+  // transform sits at normalized frequency k / (P/2) with 1.0 = Nyquist,
+  // regardless of the true sample count n: the padded signal has the same
+  // sample period, so Nyquist is the same physical frequency, and
+  // spectral_summary_from_power's k / (power.size() - 1) normalization is
+  // correct as-is.  What padding does change is bin magnitudes (spectral
+  // leakage of the implicit rectangular window onto a finer grid), which
+  // is the standard, documented trade-off — NOT a frequency-axis bug.
+  // tests/fft_test.cpp pins both properties on odd-length inputs.
   std::size_t padded = 1;
   while (padded < xs.size()) padded <<= 1;
 

@@ -6,6 +6,7 @@
 #include "tensor/stats.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace prodigy::features {
@@ -14,6 +15,15 @@ namespace {
 
 double relative(std::size_t index, std::size_t n) noexcept {
   return n == 0 ? 0.0 : static_cast<double>(index) / static_cast<double>(n);
+}
+
+/// Order statistics over a series containing NaN are NaN (the profile's
+/// sorted view excludes NaNs, so reading it directly would silently compute
+/// quantiles of the truncated finite subset instead).  The final non-finite
+/// clamp in compute_all_features turns the NaN into the documented 0.0.
+double quantile_or_nan(const SeriesProfile& p, double q) noexcept {
+  if (p.nan_count > 0) return std::numeric_limits<double>::quiet_NaN();
+  return tensor::quantile_sorted(p.sorted, q);
 }
 
 struct GroupBuilder {
@@ -45,7 +55,7 @@ GroupBuilder build_groups() {
           const auto n = p.n;
           out[0] = p.sum;
           out[1] = p.mean;
-          out[2] = tensor::quantile_sorted(p.sorted, 0.5);
+          out[2] = quantile_or_nan(p, 0.5);
           out[3] = p.min;
           out[4] = p.max;
           out[5] = p.stddev;
@@ -54,8 +64,7 @@ GroupBuilder build_groups() {
           out[8] = tensor::kurtosis(p.xs, p.mean, p.stddev);
           out[9] = n == 0 ? 0.0 : p.max - p.min;
           out[10] = n == 0 ? 0.0
-                           : tensor::quantile_sorted(p.sorted, 0.75) -
-                                 tensor::quantile_sorted(p.sorted, 0.25);
+                           : quantile_or_nan(p, 0.75) - quantile_or_nan(p, 0.25);
           out[11] = variation_coefficient(p.mean, p.stddev);
           out[12] = n == 0 ? 0.0
                            : std::sqrt(p.abs_energy / static_cast<double>(n));
@@ -70,7 +79,7 @@ GroupBuilder build_groups() {
     }
     b.add("quantiles", std::move(names), [](const SeriesProfile& p, double* out) {
       for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
-        out[i] = tensor::quantile_sorted(p.sorted, kQuantiles[i]);
+        out[i] = quantile_or_nan(p, kQuantiles[i]);
       }
     });
   }
@@ -115,14 +124,19 @@ GroupBuilder build_groups() {
         });
 
   {
-    static constexpr std::size_t kSupports[] = {1, 3, 5};
     std::vector<std::string> names;
-    for (const auto support : kSupports) {
+    for (const auto support : kPeakSupports) {
       names.push_back("number_peaks_support_" + std::to_string(support));
     }
     b.add("peaks", std::move(names), [](const SeriesProfile& p, double* out) {
-      for (std::size_t i = 0; i < std::size(kSupports); ++i) {
-        out[i] = number_peaks(p.xs, kSupports[i]);
+      if (p.rolling && p.rolling->has_peaks) {
+        for (std::size_t i = 0; i < kPeakSupportCount; ++i) {
+          out[i] = p.rolling->peaks[i];
+        }
+        return;
+      }
+      for (std::size_t i = 0; i < kPeakSupportCount; ++i) {
+        out[i] = number_peaks(p.xs, kPeakSupports[i]);
       }
     });
   }
@@ -150,9 +164,35 @@ GroupBuilder build_groups() {
     }
     b.add("autocorrelation", std::move(names),
           [](const SeriesProfile& p, double* out) {
-            for (std::size_t i = 0; i < std::size(kLags); ++i) {
-              out[i] =
-                  tensor::autocorrelation(p.xs, kLags[i], p.mean, p.variance);
+            // One pass over xs for every lag.  Each lag's accumulator sees
+            // the same terms in the same (i ascending) order as the per-lag
+            // tensor::autocorrelation loops, so the values stay
+            // bit-identical to the standalone oracle.
+            constexpr std::size_t kCount = std::size(kLags);
+            constexpr std::size_t kMaxLag = kLags[kCount - 1];
+            const std::size_t n = p.n;
+            double acc[kCount] = {};
+            const std::size_t bulk = n > kMaxLag ? n - kMaxLag : 0;
+            for (std::size_t i = 0; i < bulk; ++i) {
+              const double di = p.xs[i] - p.mean;
+              for (std::size_t l = 0; l < kCount; ++l) {
+                acc[l] += di * (p.xs[i + kLags[l]] - p.mean);
+              }
+            }
+            for (std::size_t i = bulk; i < n; ++i) {
+              const double di = p.xs[i] - p.mean;
+              for (std::size_t l = 0; l < kCount; ++l) {
+                if (i + kLags[l] < n) {
+                  acc[l] += di * (p.xs[i + kLags[l]] - p.mean);
+                }
+              }
+            }
+            for (std::size_t l = 0; l < kCount; ++l) {
+              const std::size_t lag = kLags[l];
+              out[l] = n <= lag + 1 || p.variance == 0.0
+                           ? 0.0
+                           : acc[l] / (static_cast<double>(n - lag) *
+                                       p.variance);
             }
           });
   }
@@ -163,8 +203,25 @@ GroupBuilder build_groups() {
          "cid_ce_normalized", "cid_ce"},
         [](const SeriesProfile& p, double* out) {
           for (std::size_t lag = 1; lag <= 3; ++lag) {
-            out[lag - 1] = c3(p.xs, lag);
-            out[lag + 2] = time_reversal_asymmetry(p.xs, lag);
+            // c3 and time_reversal_asymmetry share the same index window;
+            // one loop feeds both accumulators with the standalone
+            // extractors' term order, so both stay bit-identical.
+            if (p.n < 2 * lag + 1) {
+              out[lag - 1] = 0.0;
+              out[lag + 2] = 0.0;
+              continue;
+            }
+            const std::size_t terms = p.n - 2 * lag;
+            double acc_c3 = 0.0, acc_tr = 0.0;
+            for (std::size_t i = 0; i < terms; ++i) {
+              const double a = p.xs[i + 2 * lag];
+              const double b = p.xs[i + lag];
+              const double c = p.xs[i];
+              acc_c3 += a * b * c;
+              acc_tr += a * a * b - b * c * c;
+            }
+            out[lag - 1] = acc_c3 / static_cast<double>(terms);
+            out[lag + 2] = acc_tr / static_cast<double>(terms);
           }
           out[6] = cid_ce(p.xs, true, p.mean, p.stddev);
           out[7] = cid_ce(p.xs, false);
@@ -176,7 +233,8 @@ GroupBuilder build_groups() {
         [](const SeriesProfile& p, double* out) {
           out[0] = approximate_entropy(p.xs, 2, 0.2);
           out[1] = p.n == 0 ? 0.0 : binned_entropy(p.xs, 10, p.min, p.max);
-          out[2] = benford_correlation(p.xs);
+          out[2] = p.rolling && p.rolling->has_benford ? p.rolling->benford
+                                                       : benford_correlation(p.xs);
         });
 
   b.add("linear_trend",
@@ -220,18 +278,24 @@ const std::vector<FeatureGroup>& feature_groups() { return builder().groups; }
 
 std::size_t features_per_metric() { return feature_registry().size(); }
 
-void compute_all_features(std::span<const double> series, std::span<double> out,
-                          FeatureScratch& scratch) {
+void compute_features_from_profile(const SeriesProfile& profile,
+                                   std::span<double> out) {
   if (out.size() != features_per_metric()) {
-    throw std::invalid_argument("compute_all_features: bad output size");
+    throw std::invalid_argument(
+        "compute_features_from_profile: bad output size");
   }
-  const SeriesProfile profile = compute_series_profile(series, scratch);
   for (const auto& group : feature_groups()) {
     group.fn(profile, out.data() + group.first);
   }
   for (double& value : out) {
     if (!std::isfinite(value)) value = 0.0;
   }
+}
+
+void compute_all_features(std::span<const double> series, std::span<double> out,
+                          FeatureScratch& scratch) {
+  const SeriesProfile profile = compute_series_profile(series, scratch);
+  compute_features_from_profile(profile, out);
 }
 
 std::vector<double> compute_all_features(std::span<const double> series) {

@@ -57,4 +57,11 @@ std::vector<double> compute_all_features(std::span<const double> series);
 void compute_all_features(std::span<const double> series, std::span<double> out,
                           FeatureScratch& scratch);
 
+/// Evaluates the grouped extractors on an externally-built profile (the
+/// incremental extractor assembles its SeriesProfile from rolling state
+/// instead of compute_series_profile).  Applies the same non-finite -> 0
+/// clamp as compute_all_features.
+void compute_features_from_profile(const SeriesProfile& profile,
+                                   std::span<double> out);
+
 }  // namespace prodigy::features

@@ -1,0 +1,60 @@
+#include "features/series_preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prodigy::features {
+
+void linear_interpolate(std::span<double> series) {
+  const std::size_t n = series.size();
+  std::size_t i = 0;
+  std::ptrdiff_t last_finite = -1;
+  while (i < n) {
+    if (std::isfinite(series[i])) {
+      if (last_finite >= 0 && static_cast<std::size_t>(last_finite) + 1 < i) {
+        // Interpolate the gap (last_finite, i).
+        const double lo = series[static_cast<std::size_t>(last_finite)];
+        const double hi = series[i];
+        const double span = static_cast<double>(i) - static_cast<double>(last_finite);
+        for (std::size_t g = static_cast<std::size_t>(last_finite) + 1; g < i; ++g) {
+          const double t = (static_cast<double>(g) - static_cast<double>(last_finite)) / span;
+          series[g] = lo + (hi - lo) * t;
+        }
+      } else if (last_finite < 0 && i > 0) {
+        // Leading gap: back-fill with first finite value.
+        for (std::size_t g = 0; g < i; ++g) series[g] = series[i];
+      }
+      last_finite = static_cast<std::ptrdiff_t>(i);
+    }
+    ++i;
+  }
+  if (last_finite < 0) {
+    std::fill(series.begin(), series.end(), 0.0);
+  } else if (static_cast<std::size_t>(last_finite) + 1 < n) {
+    // Trailing gap: forward-fill.
+    const double value = series[static_cast<std::size_t>(last_finite)];
+    for (std::size_t g = static_cast<std::size_t>(last_finite) + 1; g < n; ++g) {
+      series[g] = value;
+    }
+  }
+}
+
+void counter_to_rate_inplace(std::span<double> series) {
+  if (series.size() < 2) {
+    std::fill(series.begin(), series.end(), 0.0);
+    return;
+  }
+  // Walk backwards so each x[t-1] is still the raw value when read.
+  for (std::size_t t = series.size() - 1; t >= 1; --t) {
+    series[t] = series[t] - series[t - 1];
+  }
+  series[0] = series[1];  // keep length aligned with the gauges
+}
+
+std::vector<double> counter_to_rate(std::span<const double> series) {
+  std::vector<double> rates(series.begin(), series.end());
+  counter_to_rate_inplace(rates);
+  return rates;
+}
+
+}  // namespace prodigy::features

@@ -1,0 +1,29 @@
+// Series-level cleaning primitives (paper §4.2.1: interpolation of samples
+// lost during collection, first-differencing of accumulated counters).
+//
+// Both the batch preprocessing pipeline (pipeline/preprocess.cpp) and the
+// streaming incremental extractor's exact-fallback path
+// (features/incremental_profile.cpp) must clean a series with bit-identical
+// results, so the definitions live here, below both consumers in the
+// library graph (pipeline links features, not the other way around).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace prodigy::features {
+
+/// Fills non-finite gaps by linear interpolation between finite
+/// neighbours; leading/trailing gaps are filled with the nearest finite
+/// value.  An all-non-finite series becomes all zeros.
+void linear_interpolate(std::span<double> series);
+
+/// In-place first difference (x[t] - x[t-1]); element 0 duplicates
+/// element 1's diff so the length stays aligned with the gauges.  Series
+/// shorter than 2 elements become all zeros.
+void counter_to_rate_inplace(std::span<double> series);
+
+/// Copying variant (the historical pipeline signature).
+std::vector<double> counter_to_rate(std::span<const double> series);
+
+}  // namespace prodigy::features

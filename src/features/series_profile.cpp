@@ -74,7 +74,18 @@ SeriesProfile compute_series_profile(std::span<const double> xs,
   }
 
   // One sort (order statistics), one FFT (spectral family), one fit (trend).
-  scratch.sorted.assign(xs.begin(), xs.end());
+  // NaNs are excluded before sorting: std::sort on NaN violates strict weak
+  // ordering (UB), and historically they sorted to the tail where the upper
+  // quantiles read them.  Consumers see nan_count > 0 and propagate NaN.
+  scratch.sorted.clear();
+  scratch.sorted.reserve(xs.size());
+  for (double x : xs) {
+    if (x != x) {
+      ++p.nan_count;
+    } else {
+      scratch.sorted.push_back(x);
+    }
+  }
   std::sort(scratch.sorted.begin(), scratch.sorted.end());
   p.sorted = scratch.sorted;
 

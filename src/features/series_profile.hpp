@@ -21,6 +21,24 @@
 
 namespace prodigy::features {
 
+/// Peak supports used by the `peaks` feature group.  Shared between the
+/// batch registry and the incremental engine's rolling peak-flag ring so the
+/// two paths can never drift apart.
+inline constexpr std::size_t kPeakSupports[] = {1, 3, 5};
+inline constexpr std::size_t kPeakSupportCount =
+    sizeof(kPeakSupports) / sizeof(kPeakSupports[0]);
+
+/// Window statistics the incremental engine carries as integer counts
+/// (peak flags, Benford first-digit histogram).  Integer counts slide
+/// bit-exactly, so the values here equal the batch extractors' output and
+/// the registry can skip the O(n) rescans.  Null on the batch path.
+struct RollingStats {
+  bool has_peaks = false;
+  double peaks[kPeakSupportCount] = {};  // number_peaks(xs, support)
+  bool has_benford = false;
+  double benford = 0.0;                  // benford_correlation(xs)
+};
+
 /// Reusable per-thread buffers for profile construction.  Hot callers
 /// (extract_node_features) keep one per worker thread so a window's worth
 /// of metrics is extracted without per-series allocations.
@@ -65,10 +83,19 @@ struct SeriesProfile {
   std::size_t longest_below = 0;
   std::size_t crossings = 0;
 
-  std::span<const double> sorted;  // ascending copy of xs
+  /// Ascending copy of xs *excluding NaNs* (std::sort's ordering contract
+  /// forbids them); `nan_count` records how many were dropped so the
+  /// order-statistics consumers can propagate NaN instead of silently
+  /// reading a truncated tail.
+  std::span<const double> sorted;
+  std::size_t nan_count = 0;
   std::span<const double> power;   // one-sided power spectrum of xs
   SpectralSummary spectral;
   LinearTrendResult trend;
+
+  /// Set by the incremental engine when its rolling integer counts cover
+  /// this window; batch-built profiles leave it null.
+  const RollingStats* rolling = nullptr;
 };
 
 /// Builds the profile for one series, reusing the scratch buffers.  The

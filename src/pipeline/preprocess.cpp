@@ -1,5 +1,6 @@
 #include "pipeline/preprocess.hpp"
 
+#include "features/series_preprocess.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/metrics.hpp"
 
@@ -8,48 +9,15 @@
 
 namespace prodigy::pipeline {
 
+// The cleaning primitives are shared with the streaming incremental
+// extractor's exact-fallback path, which must reproduce this pipeline's
+// output bit for bit; the single definition lives in features/.
 void linear_interpolate(std::span<double> series) {
-  const std::size_t n = series.size();
-  std::size_t i = 0;
-  std::ptrdiff_t last_finite = -1;
-  while (i < n) {
-    if (std::isfinite(series[i])) {
-      if (last_finite >= 0 && static_cast<std::size_t>(last_finite) + 1 < i) {
-        // Interpolate the gap (last_finite, i).
-        const double lo = series[static_cast<std::size_t>(last_finite)];
-        const double hi = series[i];
-        const double span = static_cast<double>(i) - static_cast<double>(last_finite);
-        for (std::size_t g = static_cast<std::size_t>(last_finite) + 1; g < i; ++g) {
-          const double t = (static_cast<double>(g) - static_cast<double>(last_finite)) / span;
-          series[g] = lo + (hi - lo) * t;
-        }
-      } else if (last_finite < 0 && i > 0) {
-        // Leading gap: back-fill with first finite value.
-        for (std::size_t g = 0; g < i; ++g) series[g] = series[i];
-      }
-      last_finite = static_cast<std::ptrdiff_t>(i);
-    }
-    ++i;
-  }
-  if (last_finite < 0) {
-    std::fill(series.begin(), series.end(), 0.0);
-  } else if (static_cast<std::size_t>(last_finite) + 1 < n) {
-    // Trailing gap: forward-fill.
-    const double value = series[static_cast<std::size_t>(last_finite)];
-    for (std::size_t g = static_cast<std::size_t>(last_finite) + 1; g < n; ++g) {
-      series[g] = value;
-    }
-  }
+  features::linear_interpolate(series);
 }
 
 std::vector<double> counter_to_rate(std::span<const double> series) {
-  std::vector<double> rates(series.size(), 0.0);
-  if (series.size() < 2) return rates;
-  for (std::size_t t = 1; t < series.size(); ++t) {
-    rates[t] = series[t] - series[t - 1];
-  }
-  rates[0] = rates[1];  // keep length aligned with the gauges
-  return rates;
+  return features::counter_to_rate(series);
 }
 
 tensor::Matrix preprocess_node(const tensor::Matrix& raw,

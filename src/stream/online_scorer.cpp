@@ -29,6 +29,20 @@ OnlineScorer::OnlineScorer(core::ModelBundle bundle, EventBus& bus,
   kinds_.reserve(telemetry::metric_count());
   for (const auto& spec : telemetry::metric_catalog()) {
     kinds_.push_back(spec.kind);
+    col_kinds_.push_back(spec.kind == telemetry::MetricKind::Counter
+                             ? features::ColumnKind::kCounter
+                             : features::ColumnKind::kGauge);
+  }
+
+  // The incremental path needs overlapping windows to have anything to
+  // reuse, a window large enough to profile, and window-local trimming off
+  // (a trimmed window is not a suffix of the stream, so deltas can't feed
+  // it).  Anything else silently runs the batch-exact full recompute.
+  extraction_ = config_.extraction;
+  if (extraction_ == ExtractionMode::kIncremental &&
+      (config_.hop >= config_.window || config_.window < 2 ||
+       config_.preprocess.trim_seconds != 0.0)) {
+    extraction_ = ExtractionMode::kFullRecompute;
   }
 }
 
@@ -42,21 +56,36 @@ void OnlineScorer::on_rows(std::int64_t job_id, std::int64_t component_id,
                            const std::string& app,
                            std::span<const std::int64_t> timestamps,
                            const tensor::Matrix& rows) {
+  const bool incremental = extraction_ == ExtractionMode::kIncremental;
   auto& slot = nodes_[{job_id, component_id}];
   if (!slot) {
     slot = std::make_unique<NodeState>(job_id, component_id, config_.window,
                                        config_.hop, rows.cols());
+    if (incremental) {
+      // Safe to create here: the extractor is only touched by this node's
+      // scoring task, and no window of this node is pending yet.
+      features::IncrementalConfig inc;
+      inc.window = config_.window;
+      inc.hop = config_.hop;
+      inc.interpolate = config_.preprocess.interpolate;
+      inc.diff_counters = config_.preprocess.diff_counters;
+      slot->extractor = std::make_unique<features::IncrementalNodeExtractor>(
+          rows.cols(), col_kinds_, inc);
+    }
   }
   NodeState& node = *slot;
 
   // Push row-by-row, draining ready windows eagerly so the ring buffer never
-  // overwrites an unemitted window (see WindowState::pop).
+  // overwrites an unemitted window (see WindowState::pop).  The incremental
+  // mode drains the delta form: only the hop's new rows travel to the
+  // scoring task; the extractor holds the rest of the window as state.
   std::vector<PendingWindow> ready;
   for (std::size_t r = 0; r < rows.rows(); ++r) {
     node.state.push_row(timestamps[r], rows.row(r));
     while (node.state.ready()) {
       PendingWindow window;
-      window.span = node.state.pop(window.values);
+      window.span = incremental ? node.state.pop_delta(window.values)
+                                : node.state.pop(window.values);
       window.app = app;
       ready.push_back(std::move(window));
     }
@@ -118,15 +147,31 @@ void OnlineScorer::run_node_tasks(NodeState& node) {
 void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
   util::Timer timer;
   try {
-    const tensor::Matrix prepared =
-        pipeline::preprocess_node(window.values, kinds_, config_.preprocess);
-    const std::vector<double> features =
-        features::extract_node_features(prepared);
     // Capacity-reused per worker thread: one warmed-up 1 x F buffer per
     // scoring thread instead of a fresh heap matrix per window.
     thread_local tensor::Matrix X;
-    X.resize_for_overwrite(1, features.size());
-    X.set_row(0, features);
+    if (node.extractor) {
+      thread_local std::vector<double> features;
+      features.resize(node.extractor->cols() * features::features_per_metric());
+      if (!node.extractor->absorb_and_extract(window.values, features)) {
+        // Still refilling after an error-recovery reset: the rolling state
+        // does not cover a full window yet, so no verdict can be produced.
+        windows_skipped_.fetch_add(1, std::memory_order_relaxed);
+        util::MetricsRegistry::global()
+            .counter("prodigy_stream_windows_skipped_total")
+            .increment();
+        return;
+      }
+      X.resize_for_overwrite(1, features.size());
+      X.set_row(0, features);
+    } else {
+      const tensor::Matrix prepared =
+          pipeline::preprocess_node(window.values, kinds_, config_.preprocess);
+      const std::vector<double> features =
+          features::extract_node_features(prepared);
+      X.resize_for_overwrite(1, features.size());
+      X.set_row(0, features);
+    }
     const auto scores = bundle_.detector.score(bundle_.transform_full(X));
 
     VerdictEvent event;
@@ -155,6 +200,11 @@ void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
         .increment();
     util::log_warn("OnlineScorer: window ", window.span.index, " of node ",
                    node.job_id, "/", node.component_id, " failed: ", e.what());
+    if (node.extractor) {
+      // The failed absorb may have left the rolling state half-updated
+      // (poisoned); drop it and refill from the next window's deltas.
+      node.extractor->reset();
+    }
   }
 }
 

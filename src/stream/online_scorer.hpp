@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/model_trainer.hpp"
+#include "features/incremental_profile.hpp"
 #include "pipeline/preprocess.hpp"
 #include "stream/event_bus.hpp"
 #include "stream/ingestor.hpp"
@@ -33,10 +34,23 @@ namespace prodigy::stream {
 /// a W-row window is already inside the steady phase of the run.
 pipeline::PreprocessOptions streaming_preprocess_defaults();
 
+/// How each ready window is turned into a feature vector.
+enum class ExtractionMode : std::uint8_t {
+  /// Batch semantics per window: materialize all W rows, preprocess_node,
+  /// extract_node_features.  O(W log W) per metric per hop.
+  kFullRecompute,
+  /// Rolling per-(node, metric) state absorbs only the hop's new rows
+  /// (features/incremental_profile.hpp).  Falls back to kFullRecompute
+  /// automatically when the configuration defeats reuse (hop >= window) or
+  /// requires whole-window preprocessing (trim_seconds != 0).
+  kIncremental,
+};
+
 struct OnlineScorerConfig {
   std::size_t window = 64;  // W: rows per scored window
   std::size_t hop = 16;     // H: rows between window starts
   pipeline::PreprocessOptions preprocess = streaming_preprocess_defaults();
+  ExtractionMode extraction = ExtractionMode::kIncremental;
   util::ThreadPool* pool = nullptr;  // nullptr -> util::ThreadPool::global()
 };
 
@@ -66,13 +80,23 @@ class OnlineScorer : public RowSink {
   std::uint64_t score_errors() const noexcept {
     return score_errors_.load(std::memory_order_relaxed);
   }
+  /// Windows dropped while an incremental extractor refills after an
+  /// error-recovery reset (no verdict is published for them).
+  std::uint64_t windows_skipped() const noexcept {
+    return windows_skipped_.load(std::memory_order_relaxed);
+  }
   const OnlineScorerConfig& config() const noexcept { return config_; }
+  /// The mode actually in effect (kIncremental may auto-fall back; see
+  /// ExtractionMode).
+  ExtractionMode extraction_mode() const noexcept { return extraction_; }
   const core::ModelBundle& bundle() const noexcept { return bundle_; }
 
  private:
   struct PendingWindow {
     WindowSpan span;
-    tensor::Matrix values;  // raw (window x cols) rows
+    // kFullRecompute: the raw (window x cols) rows.  kIncremental: only the
+    // rows new since the previous emission (pop_delta).
+    tensor::Matrix values;
     std::string app;
   };
 
@@ -83,6 +107,10 @@ class OnlineScorer : public RowSink {
     const std::int64_t job_id;
     const std::int64_t component_id;
     WindowState state;  // ingestor-consumer-thread only
+
+    // Created on first on_rows (cols known then); afterwards touched only
+    // by this node's single chained scoring task.  Null in full mode.
+    std::unique_ptr<features::IncrementalNodeExtractor> extractor;
 
     std::mutex task_mutex;  // guards pending + task_active
     std::deque<PendingWindow> pending;
@@ -96,7 +124,9 @@ class OnlineScorer : public RowSink {
   core::ModelBundle bundle_;
   EventBus& bus_;
   OnlineScorerConfig config_;
+  ExtractionMode extraction_ = ExtractionMode::kFullRecompute;
   std::vector<telemetry::MetricKind> kinds_;
+  std::vector<features::ColumnKind> col_kinds_;  // kinds_ mapped for features
 
   // Touched only on the ingestor consumer thread; node addresses are stable
   // so scoring tasks can hold references across map growth.
@@ -109,6 +139,7 @@ class OnlineScorer : public RowSink {
 
   std::atomic<std::uint64_t> windows_scored_{0};
   std::atomic<std::uint64_t> score_errors_{0};
+  std::atomic<std::uint64_t> windows_skipped_{0};
 };
 
 }  // namespace prodigy::stream

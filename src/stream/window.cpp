@@ -54,4 +54,36 @@ WindowSpan WindowState::pop(tensor::Matrix& out) {
   return span;
 }
 
+WindowSpan WindowState::pop_delta(tensor::Matrix& out) {
+  if (!ready()) {
+    throw std::logic_error("WindowState::pop_delta: no window ready");
+  }
+  const std::uint64_t start = emitted_ * hop_;
+  const std::uint64_t end = start + window_;
+  if (pushed_ > end) {
+    throw std::logic_error("WindowState::pop_delta: window rows overwritten "
+                           "(drain ready windows after every push)");
+  }
+  // Rows [start, prev_end) were already delivered with the previous window;
+  // only [delta_start, end) is new.  The first emission (and hop >= window)
+  // delivers the full window.
+  const std::uint64_t prev_end =
+      emitted_ == 0 ? start : (emitted_ - 1) * hop_ + window_;
+  const std::uint64_t delta_start = std::max(start, prev_end);
+  const std::size_t delta_rows = static_cast<std::size_t>(end - delta_start);
+  if (out.rows() != delta_rows || out.cols() != cols_) {
+    out = tensor::Matrix(delta_rows, cols_);
+  }
+  for (std::size_t r = 0; r < delta_rows; ++r) {
+    const std::size_t slot = static_cast<std::size_t>((delta_start + r) % window_);
+    out.set_row(r, ring_.row(slot));
+  }
+  WindowSpan span;
+  span.index = emitted_;
+  span.start_ts = ring_ts_[static_cast<std::size_t>(start % window_)];
+  span.end_ts = ring_ts_[static_cast<std::size_t>((end - 1) % window_)];
+  ++emitted_;
+  return span;
+}
+
 }  // namespace prodigy::stream

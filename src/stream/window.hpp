@@ -40,6 +40,18 @@ class WindowState {
   /// rows in time order) and returns its span.
   WindowSpan pop(tensor::Matrix& out);
 
+  /// Delta form of pop() for incremental consumers: emits the same window
+  /// (same span, same ordinal) but copies only the rows NOT already
+  /// delivered by the previous pop_delta/pop — `hop` rows in steady state
+  /// (when hop < window), the full window for the first emission or when
+  /// hop >= window.  `out` is resized to (delta_rows x cols), rows in time
+  /// order ending at the window's last row.  The returned span still
+  /// describes the FULL window.  Same drain contract and overwrite check
+  /// as pop(); mixing pop() and pop_delta() on one WindowState keeps the
+  /// ordinals consistent but makes the next delta relative to the last
+  /// emission, so consumers should pick one form and stick to it.
+  WindowSpan pop_delta(tensor::Matrix& out);
+
   std::size_t window() const noexcept { return window_; }
   std::size_t hop() const noexcept { return hop_; }
   std::uint64_t rows_pushed() const noexcept { return pushed_; }

@@ -54,7 +54,16 @@ double quantile_sorted(std::span<const double> sorted, double q) noexcept {
 }
 
 double quantile(std::span<const double> xs, double q) {
-  std::vector<double> copy(xs.begin(), xs.end());
+  // NaN input propagates: std::sort on NaN violates strict weak ordering
+  // (undefined behavior), and in practice NaNs land at the tail where the
+  // upper quantiles silently read them.  A quantile of a set containing
+  // NaN is NaN, by contract.
+  std::vector<double> copy;
+  copy.reserve(xs.size());
+  for (double x : xs) {
+    if (x != x) return x;
+    copy.push_back(x);
+  }
   std::sort(copy.begin(), copy.end());
   return quantile_sorted(copy, q);
 }

@@ -15,9 +15,12 @@ double stddev(std::span<const double> xs) noexcept;
 double min_value(std::span<const double> xs) noexcept;
 double max_value(std::span<const double> xs) noexcept;
 double median(std::span<const double> xs);
-/// Linear-interpolated quantile, q in [0, 1].  Copies and sorts.
+/// Linear-interpolated quantile, q in [0, 1].  Copies and sorts.  Any NaN
+/// in the input propagates (returns NaN) rather than feeding std::sort,
+/// whose ordering contract NaN violates.
 double quantile(std::span<const double> xs, double q);
-/// Quantile over an already-sorted sequence (no copy).
+/// Quantile over an already-sorted sequence (no copy).  The sequence must
+/// be NaN-free (use quantile() when it may not be).
 double quantile_sorted(std::span<const double> sorted, double q) noexcept;
 double skewness(std::span<const double> xs) noexcept;
 /// Excess kurtosis (normal -> 0).

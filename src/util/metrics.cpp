@@ -53,6 +53,16 @@ void Histogram::observe(double value) {
   }
 }
 
+void Histogram::reset() {
+  std::lock_guard lock(mutex_);
+  samples_.clear();
+  next_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
 HistogramSnapshot Histogram::snapshot() const {
   std::vector<double> window;
   HistogramSnapshot snap;

@@ -77,6 +77,11 @@ class Histogram {
   void observe(double value);
   HistogramSnapshot snapshot() const;
 
+  /// Drop all recorded state (count/sum/extrema and the quantile window).
+  /// Unlike MetricsRegistry::reset(), references stay valid — benchmarks use
+  /// this to isolate one pass's latency distribution from the previous one.
+  void reset();
+
   static constexpr std::size_t kDefaultCapacity = 2048;
 
  private:

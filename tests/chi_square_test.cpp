@@ -39,6 +39,62 @@ TEST(Chi2Test, RejectsNegativeFeatures) {
   EXPECT_THROW(chi2_scores(X, {0, 1}), std::invalid_argument);
 }
 
+TEST(Chi2Test, TermMatchesClassicFormulaWhenExpectedPositive) {
+  // The pseudo-count path only engages at expected == 0; every
+  // well-conditioned cell keeps the textbook (O - E)^2 / E value.
+  EXPECT_DOUBLE_EQ(chi2_term(10.0, 4.0), 36.0 / 4.0);
+  EXPECT_DOUBLE_EQ(chi2_term(0.0, 4.0), 16.0 / 4.0);
+  EXPECT_DOUBLE_EQ(chi2_term(4.0, 4.0), 0.0);
+}
+
+TEST(Chi2Test, TermZeroExpectedUsesPseudoCount) {
+  // expected == 0 with observed > 0 historically contributed NOTHING (the
+  // guard silently skipped the cell); it now scores O^2 / 0.5.
+  EXPECT_DOUBLE_EQ(chi2_term(10.0, 0.0), 100.0 / 0.5);
+  // Any representable evidence counts (observed^2 must not underflow).
+  EXPECT_GT(chi2_term(1e-9, 0.0), 0.0);
+  // No observation and no expectation is genuinely zero information.
+  EXPECT_DOUBLE_EQ(chi2_term(0.0, 0.0), 0.0);
+}
+
+TEST(Chi2Test, ScoresUnchangedOnWellConditionedInputs) {
+  // Regression pin: on inputs where every expected frequency is positive
+  // (all realistic min-max-scaled datasets), chi2_scores must reproduce the
+  // pre-pseudo-count arithmetic bit for bit.
+  util::Rng rng(7);
+  tensor::Matrix X(60, 4);
+  std::vector<int> y(60);
+  for (std::size_t r = 0; r < 60; ++r) {
+    y[r] = r % 3 == 0 ? 1 : 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      X(r, c) = c == 0 ? (y[r] ? rng.uniform(0.5, 1.0) : rng.uniform(0.0, 0.5))
+                       : rng.uniform();
+    }
+  }
+  const auto scores = chi2_scores(X, y);
+  const double p_pos = 20.0 / 60.0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    double obs_pos = 0.0, obs_neg = 0.0;
+    for (std::size_t r = 0; r < 60; ++r) {
+      (y[r] ? obs_pos : obs_neg) += X(r, c);
+    }
+    const double total = obs_pos + obs_neg;
+    const double exp_pos = total * p_pos;
+    const double exp_neg = total * (1.0 - p_pos);
+    // The historical loop body, verbatim.
+    double chi2 = 0.0;
+    if (exp_pos > 0.0) {
+      const double d = obs_pos - exp_pos;
+      chi2 += d * d / exp_pos;
+    }
+    if (exp_neg > 0.0) {
+      const double d = obs_neg - exp_neg;
+      chi2 += d * d / exp_neg;
+    }
+    EXPECT_DOUBLE_EQ(scores[c], chi2) << "column " << c;
+  }
+}
+
 TEST(Chi2Test, ClampsFloatingPointNoiseBelowZero) {
   // Min-max scaling can leave values a hair under 0; they must be treated
   // as exact zeros, not rejected.

@@ -103,5 +103,43 @@ TEST(SpectralSummaryTest, DegenerateInputsAreZero) {
   EXPECT_DOUBLE_EQ(constant.centroid, 0.0);
 }
 
+// Zero-padding audit: padding an odd-length window to the next power of two
+// must not shift the frequency axis.  Normalized frequency 1.0 is Nyquist
+// (half the sample rate) whatever the true sample count, because padding
+// changes the grid resolution, not the sample period.
+TEST(SpectralSummaryTest, OddLengthPaddingKeepsFrequencyAxis) {
+  // A tone at 1/4 of the sample rate (half of Nyquist): x[i] = cos(pi/2 i).
+  // n = 97 pads to 128; the peak must land at normalized frequency ~0.5
+  // regardless (bin 32 of 64), not at 97-relative coordinates.
+  std::vector<double> tone(97);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    tone[i] = std::cos(std::numbers::pi / 2.0 * static_cast<double>(i));
+  }
+  const auto power = power_spectrum(tone);
+  ASSERT_EQ(power.size(), 128 / 2 + 1);  // padded one-sided spectrum
+  const SpectralSummary summary = spectral_summary_from_power(power);
+  // Leakage from the rectangular cut spreads the tone over neighbouring
+  // bins, so allow one bin (1/64) of slack around 0.5.
+  EXPECT_NEAR(summary.peak_frequency, 0.5, 1.0 / 64.0 + 1e-12);
+  EXPECT_NEAR(summary.centroid, 0.5, 0.05);
+}
+
+TEST(SpectralSummaryTest, OddLengthMatchesTruncatedPowerOfTwoAxis) {
+  // The same Nyquist-relative tone sampled over 64 and over 96 samples must
+  // peak at the same normalized frequency even though one path pads (96 ->
+  // 128) and the other does not: the axis is sample-period-relative.
+  auto tone_of = [](std::size_t n) {
+    std::vector<double> xs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xs[i] = std::sin(2.0 * std::numbers::pi * 0.25 * static_cast<double>(i));
+    }
+    return xs;
+  };
+  const SpectralSummary exact = spectral_summary(tone_of(64));
+  const SpectralSummary padded = spectral_summary(tone_of(96));
+  EXPECT_NEAR(exact.peak_frequency, 0.5, 1e-12);
+  EXPECT_NEAR(padded.peak_frequency, 0.5, 1.0 / 64.0 + 1e-12);
+}
+
 }  // namespace
 }  // namespace prodigy::features

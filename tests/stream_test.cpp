@@ -156,6 +156,66 @@ TEST(WindowStateTest, LazyDrainPastRingCapacityThrows) {
   EXPECT_THROW(state.pop(out), std::logic_error);
 }
 
+TEST(WindowStateTest, PopDeltaEmitsFullWindowThenHops) {
+  // W=4, H=2: the first emission delivers all 4 rows, every later one just
+  // the 2 new rows, while the span still names the full window.
+  stream::WindowState state(4, 2, 1);
+  tensor::Matrix out;
+  std::vector<stream::WindowSpan> spans;
+  std::vector<std::size_t> delta_rows;
+  std::vector<double> delta_values;
+  for (std::int64_t t = 0; t < 10; ++t) {
+    state.push_row(t, row_of(static_cast<double>(t), 1));
+    while (state.ready()) {
+      spans.push_back(state.pop_delta(out));
+      delta_rows.push_back(out.rows());
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        delta_values.push_back(out.at(r, 0));
+      }
+    }
+  }
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(delta_rows, (std::vector<std::size_t>{4, 2, 2, 2}));
+  // Concatenated deltas are exactly rows 0..9: each row delivered once.
+  ASSERT_EQ(delta_values.size(), 10u);
+  for (std::size_t i = 0; i < delta_values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(delta_values[i], static_cast<double>(i));
+  }
+  for (std::size_t k = 0; k < spans.size(); ++k) {
+    EXPECT_EQ(spans[k].index, k);
+    EXPECT_EQ(spans[k].start_ts, static_cast<std::int64_t>(2 * k));
+    EXPECT_EQ(spans[k].end_ts, static_cast<std::int64_t>(2 * k + 3));
+  }
+}
+
+TEST(WindowStateTest, PopDeltaDisjointWindowsDeliverFullWindows) {
+  // H >= W: no overlap to reuse, so every delta is the whole window.
+  stream::WindowState state(2, 3, 1);
+  tensor::Matrix out;
+  std::vector<stream::WindowSpan> spans;
+  for (std::int64_t t = 0; t < 8; ++t) {
+    state.push_row(10 * t, row_of(static_cast<double>(t), 1));
+    while (state.ready()) {
+      spans.push_back(state.pop_delta(out));
+      EXPECT_EQ(out.rows(), 2u);
+      EXPECT_DOUBLE_EQ(out.at(0, 0), static_cast<double>(spans.back().index * 3));
+    }
+  }
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[2].start_ts, 60);
+  EXPECT_EQ(spans[2].end_ts, 70);
+}
+
+TEST(WindowStateTest, PopDeltaKeepsPopContractOnErrors) {
+  stream::WindowState fresh(4, 2, 1);
+  tensor::Matrix out;
+  EXPECT_THROW(fresh.pop_delta(out), std::logic_error);
+
+  stream::WindowState lazy(3, 1, 1);
+  for (std::int64_t t = 0; t < 5; ++t) lazy.push_row(t, row_of(0.0, 1));
+  EXPECT_THROW(lazy.pop_delta(out), std::logic_error);
+}
+
 // ---------------------------------------------------------------------------
 // EventBus debouncing
 
