@@ -1,0 +1,41 @@
+#include "deploy/shard_router.hpp"
+
+namespace prodigy::deploy {
+
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit permutation.  Constants are
+/// Stafford's Mix13 variant — part of the frozen contract (see header).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t node_placement_hash(std::int64_t job_id,
+                                  std::int64_t component_id) noexcept {
+  // Two chained finalizer rounds with an odd-constant offset between them:
+  // (job, component) and (component, job) hash independently, and sequential
+  // component ids (the common fleet layout: node 0..N-1) avalanche apart.
+  const auto a = static_cast<std::uint64_t>(job_id);
+  const auto b = static_cast<std::uint64_t>(component_id);
+  return mix64(mix64(a + 0x9e3779b97f4a7c15ULL) ^ (b + 0x9e3779b97f4a7c15ULL));
+}
+
+std::size_t shard_of(std::int64_t job_id, std::int64_t component_id,
+                     std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  // Fixed-point multiply (Lemire reduction) instead of `% shard_count`: no
+  // modulo bias from the high bits and the mapping for shard_count == 2^k
+  // uses the hash's top bits, which avalanche hardest.
+  const std::uint64_t hash = node_placement_hash(job_id, component_id);
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(hash) * shard_count) >> 64);
+}
+
+}  // namespace prodigy::deploy

@@ -1,0 +1,32 @@
+// Node-hash shard placement for the fleet-scale analytics service: every
+// (job, component) pair maps to exactly one of N shards, so per-node state
+// (telemetry series, sliding windows, debounce history) never straddles a
+// shard boundary.  Per-node online scoring is embarrassingly shardable
+// (Borghesi et al., arXiv:1902.08447 run per-node detectors independently at
+// fleet scale); the router is the only piece of global knowledge.
+//
+// The hash is FROZEN: tests/shard_router_test.cpp pins golden vectors so a
+// change here cannot silently reshuffle a deployed fleet (a reshuffle would
+// orphan every shard-local window and cache entry).  Change the constants
+// only together with an explicit fleet-migration story and new goldens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace prodigy::deploy {
+
+/// Stable 64-bit mix of a node identity (SplitMix64 finalizer over the two
+/// ids).  Deterministic across processes, platforms, and library versions —
+/// never std::hash, whose value is implementation-defined.
+std::uint64_t node_placement_hash(std::int64_t job_id,
+                                  std::int64_t component_id) noexcept;
+
+/// Maps a node to its owning shard in [0, shard_count).  shard_count == 0 is
+/// treated as 1 (everything on shard 0).  Uniform over real node-ID corpora
+/// (chi-square-tested) and stable: the same node always lands on the same
+/// shard for a given shard count.
+std::size_t shard_of(std::int64_t job_id, std::int64_t component_id,
+                     std::size_t shard_count) noexcept;
+
+}  // namespace prodigy::deploy

@@ -124,6 +124,11 @@ void StreamIngestor::consumer_loop() {
     {
       std::unique_lock lock(mutex_);
       not_empty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (aborting_) {
+        lock.unlock();
+        discard_in_flight();
+        return;
+      }
       if (queue_.empty()) break;  // stopping and fully drained
       batch = std::move(queue_.front());
       queue_.pop_front();
@@ -218,6 +223,22 @@ void StreamIngestor::flush_pending() {
   stats_.malformed_samples += malformed;
 }
 
+void StreamIngestor::discard_in_flight() {
+  // Consumer thread only, after aborting_ was observed: everything queued and
+  // every reordered-but-unflushed row dies here, accounted as dropped.
+  auto& metrics = IngestMetrics::instance();
+  std::uint64_t lost = 0;
+  for (const auto& [key, node] : pending_) lost += node.rows.size();
+  pending_.clear();
+  pending_rows_ = 0;
+  std::lock_guard lock(mutex_);
+  for (const auto& queued : queue_) lost += queued.sample_count();
+  queue_.clear();
+  metrics.queue_depth->set(0.0);
+  metrics.dropped->increment(lost);
+  stats_.dropped_samples += lost;
+}
+
 void StreamIngestor::stop() {
   {
     std::lock_guard lock(mutex_);
@@ -227,6 +248,22 @@ void StreamIngestor::stop() {
   not_full_.notify_all();
   // joinable()/join() are not thread-safe against each other; serialize so
   // stop() is idempotent and callable from any thread (and the destructor).
+  std::lock_guard join_lock(join_mutex_);
+  if (consumer_.joinable()) consumer_.join();
+}
+
+void StreamIngestor::request_abort() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    aborting_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+void StreamIngestor::abort() {
+  request_abort();
   std::lock_guard join_lock(join_mutex_);
   if (consumer_.joinable()) consumer_.join();
 }

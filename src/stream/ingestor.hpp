@@ -90,6 +90,22 @@ class StreamIngestor {
   /// into the store, and joins the consumer thread.  Idempotent.
   void stop();
 
+  /// Crash simulation (fault-injection seam for the sharded service tests):
+  /// stops accepting batches and joins the consumer WITHOUT draining — every
+  /// queued batch and every reordered-but-unflushed pending row is counted
+  /// into `dropped_samples`, exactly as a killed shard loses its in-flight
+  /// work.  The accounting invariant (offered == flushed + dropped +
+  /// duplicate + late + malformed) still holds afterwards.  Idempotent;
+  /// stop() after abort() is a no-op.
+  void abort();
+
+  /// First half of abort(): marks the queue dying and wakes every waiter,
+  /// without joining the consumer.  Lets a caller release an external stall
+  /// (a fault-injection hook parked inside the sink) between the mark and the
+  /// join, so the woken consumer observes the abort before touching another
+  /// batch (ShardedAnalyticsService::crash_shard).  Follow with abort().
+  void request_abort();
+
   IngestorStats stats() const;
   std::size_t queue_depth() const;
   const IngestorConfig& config() const noexcept { return config_; }
@@ -104,6 +120,7 @@ class StreamIngestor {
   void consumer_loop();
   void process_batch(const SampleBatch& batch);
   void flush_pending();
+  void discard_in_flight();  // consumer thread, after an abort
 
   deploy::DsosStore& store_;
   IngestorConfig config_;
@@ -114,6 +131,7 @@ class StreamIngestor {
   std::condition_variable not_empty_;
   std::deque<SampleBatch> queue_;
   bool stopping_ = false;
+  bool aborting_ = false;  // crash path: discard instead of drain
   IngestorStats stats_;
 
   // Consumer-thread-only state (no lock needed).

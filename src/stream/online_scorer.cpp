@@ -44,6 +44,13 @@ OnlineScorer::OnlineScorer(core::ModelBundle bundle, EventBus& bus,
        config_.preprocess.trim_seconds != 0.0)) {
     extraction_ = ExtractionMode::kFullRecompute;
   }
+
+  if (!config_.metrics_scope.empty()) {
+    auto& registry = util::MetricsRegistry::global();
+    const std::string prefix = "prodigy_stream_" + config_.metrics_scope;
+    scoped_scored_ = &registry.counter(prefix + "_windows_scored_total");
+    scoped_latency_ = &registry.histogram(prefix + "_window_score_seconds");
+  }
 }
 
 OnlineScorer::~OnlineScorer() { drain(); }
@@ -188,8 +195,12 @@ void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
     windows_scored_.fetch_add(1, std::memory_order_relaxed);
     auto& registry = util::MetricsRegistry::global();
     registry.counter("prodigy_stream_windows_scored_total").increment();
-    registry.histogram("prodigy_stream_window_score_seconds")
-        .observe(timer.elapsed_seconds());
+    const double seconds = timer.elapsed_seconds();
+    registry.histogram("prodigy_stream_window_score_seconds").observe(seconds);
+    if (scoped_scored_ != nullptr) {
+      scoped_scored_->increment();
+      scoped_latency_->observe(seconds);
+    }
     bus_.publish(event);
   } catch (const std::exception& e) {
     // A daemon must survive one malformed window (e.g. a frame width that

@@ -17,6 +17,7 @@
 #include "stream/event_bus.hpp"
 #include "stream/ingestor.hpp"
 #include "stream/window.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 #include <atomic>
@@ -52,6 +53,12 @@ struct OnlineScorerConfig {
   pipeline::PreprocessOptions preprocess = streaming_preprocess_defaults();
   ExtractionMode extraction = ExtractionMode::kIncremental;
   util::ThreadPool* pool = nullptr;  // nullptr -> util::ThreadPool::global()
+  /// When non-empty (e.g. "shard3"), per-window latency and count are also
+  /// recorded under scoped metric names
+  /// (prodigy_stream_<scope>_window_score_seconds, ..._windows_scored_total)
+  /// so a sharded deployment exposes per-shard p50/p99 next to the fleet
+  /// totals.
+  std::string metrics_scope;
 };
 
 class OnlineScorer : public RowSink {
@@ -125,6 +132,10 @@ class OnlineScorer : public RowSink {
   EventBus& bus_;
   OnlineScorerConfig config_;
   ExtractionMode extraction_ = ExtractionMode::kFullRecompute;
+  // Scoped per-shard instrumentation (null when metrics_scope is empty);
+  // registry-owned, resolved once so the hot path stays two atomic bumps.
+  util::Counter* scoped_scored_ = nullptr;
+  util::Histogram* scoped_latency_ = nullptr;
   std::vector<telemetry::MetricKind> kinds_;
   std::vector<features::ColumnKind> col_kinds_;  // kinds_ mapped for features
 

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <latch>
 #include <thread>
 #include <vector>
 
@@ -56,10 +57,17 @@ TEST(DsosConcurrencyTest, NoTornReadsUnderConcurrentReingest) {
     store.ingest_node(constant_node(kJob, c, 0.0));
   }
 
+  // Start gate instead of wall-clock timing: writers hold until every reader
+  // is live, and each reader completes at least one full iteration before
+  // honoring stop — so the overlap (and reads > 0) is guaranteed even on a
+  // one-core host where writers could otherwise finish before any reader ran.
+  constexpr int kReaders = 4;
+  std::latch readers_live(kReaders);
   std::atomic<bool> stop{false};
   std::vector<std::thread> writers;
   for (int w = 0; w < 2; ++w) {
-    writers.emplace_back([&store, w] {
+    writers.emplace_back([&store, &readers_live, w] {
+      readers_live.wait();
       for (int v = 1; v <= kVersions; ++v) {
         telemetry::JobTelemetry job;
         job.job_id = kJob;
@@ -74,9 +82,10 @@ TEST(DsosConcurrencyTest, NoTornReadsUnderConcurrentReingest) {
 
   std::atomic<std::uint64_t> reads{0};
   std::vector<std::thread> readers;
-  for (int r = 0; r < 4; ++r) {
+  for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
-      while (!stop.load(std::memory_order_acquire)) {
+      readers_live.count_down();
+      do {
         const auto job = store.query_job(kJob);
         for (const auto& node : job.nodes) {
           const double first = node.values(0, 0);
@@ -90,7 +99,7 @@ TEST(DsosConcurrencyTest, NoTornReadsUnderConcurrentReingest) {
           ASSERT_EQ(value, first) << "torn read in query_node";
         }
         reads.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!stop.load(std::memory_order_acquire));
     });
   }
 
@@ -288,11 +297,16 @@ TEST_F(ServiceConcurrencyTest, ConcurrentReadersAndWritersStayConsistent) {
       store_, train_jobs_, fast_options(), /*explain=*/false);
   const auto memleak = hpas::table2_configurations().back();
 
+  // Same start-gate discipline as NoTornReadsUnderConcurrentReingest: the
+  // readers' do-while guarantees analyses > 0 without wall-clock assumptions.
   constexpr int kWriterRounds = 6;
+  constexpr int kReaders = 3;
+  std::latch readers_live(kReaders);
   std::atomic<bool> stop{false};
   std::vector<std::thread> writers;
   for (int w = 0; w < 2; ++w) {
     writers.emplace_back([&, w] {
+      readers_live.wait();
       for (int round = 1; round <= kWriterRounds; ++round) {
         const auto seed = static_cast<std::uint64_t>(1000 + w * 100 + round);
         store_.ingest(make_job(50, "LAMMPS", 3, 100, memleak, {1}, seed));
@@ -303,9 +317,10 @@ TEST_F(ServiceConcurrencyTest, ConcurrentReadersAndWritersStayConsistent) {
 
   std::atomic<std::uint64_t> analyses{0};
   std::vector<std::thread> readers;
-  for (int r = 0; r < 3; ++r) {
+  for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&] {
-      while (!stop.load(std::memory_order_acquire)) {
+      readers_live.count_down();
+      do {
         for (const std::int64_t job : {50LL, 51LL}) {
           const std::uint64_t gen_before = store_.job_generation(job);
           const JobAnalysis analysis = service.analyze_job(job);
@@ -319,7 +334,7 @@ TEST_F(ServiceConcurrencyTest, ConcurrentReadersAndWritersStayConsistent) {
           (void)store_.query_node(job, analysis.nodes.front().component_id);
         }
         analyses.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!stop.load(std::memory_order_acquire));
     });
   }
 

@@ -1,0 +1,144 @@
+// Shard placement contract (deploy/shard_router.hpp): the node-hash must be
+// (a) stable — pinned golden vectors, so a hash change cannot silently
+// reshuffle a deployed fleet's shard-local state — and (b) uniform — shard
+// occupancy over realistic node-ID corpora passes a chi-square bound for
+// every shard count the service runs at.
+#include "deploy/shard_router.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace prodigy::deploy {
+namespace {
+
+TEST(ShardRouterTest, GoldenHashVectorsPinTheMixFunction) {
+  // FROZEN: these values define the fleet placement.  If this test fails,
+  // you changed the hash — that reshuffles every shard-local window, cache,
+  // and store on a live fleet.  Do not update the goldens without a
+  // migration story.
+  EXPECT_EQ(node_placement_hash(0, 0), 0x0397ab29740681d9ULL);
+  EXPECT_EQ(node_placement_hash(1, 0), 0xddc1ed05282d1d64ULL);
+  EXPECT_EQ(node_placement_hash(0, 1), 0x4870e329627082a1ULL);
+  EXPECT_EQ(node_placement_hash(1, 1), 0xc3d2f46d90c18273ULL);
+  EXPECT_EQ(node_placement_hash(42, 4200), 0xadafac75b9b34e4cULL);
+  EXPECT_EQ(node_placement_hash(-1, -1), 0x96b8647c27e9e0b1ULL);
+  EXPECT_EQ(node_placement_hash(INT64_MAX, INT64_MIN),
+            0xd120189f4c3ba2ebULL);
+}
+
+TEST(ShardRouterTest, GoldenShardAssignmentsPinTheMapping) {
+  // The derived (job, component) -> shard mapping for the shard counts the
+  // sharded service is deployed at.  Same freeze rules as the hash goldens.
+  struct Golden {
+    std::int64_t job;
+    std::int64_t component;
+    std::size_t shards;
+    std::size_t expected;
+  };
+  const std::vector<Golden> goldens = {
+      {1, 100, 2, 0},  {1, 101, 2, 1},  {1, 102, 2, 1},  {1, 103, 2, 1},
+      {1, 100, 4, 1},  {1, 101, 4, 2},  {1, 102, 4, 3},  {1, 103, 4, 3},
+      {1, 100, 8, 3},  {1, 101, 8, 5},  {1, 102, 8, 7},  {1, 103, 8, 7},
+      {7, 700, 8, 7},  {7, 701, 8, 1},  {50, 5000, 8, 7}, {50, 5001, 8, 2},
+  };
+  for (const auto& golden : goldens) {
+    EXPECT_EQ(shard_of(golden.job, golden.component, golden.shards),
+              golden.expected)
+        << "node (" << golden.job << ", " << golden.component << ") @ "
+        << golden.shards << " shards";
+  }
+}
+
+TEST(ShardRouterTest, PlacementIsStableAcrossCalls) {
+  util::Rng rng(20260808);
+  for (int i = 0; i < 2000; ++i) {
+    const auto job = static_cast<std::int64_t>(rng() % 100000);
+    const auto component = static_cast<std::int64_t>(rng() % 1000000);
+    for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u, 16u}) {
+      const std::size_t first = shard_of(job, component, shards);
+      EXPECT_LT(first, shards);
+      EXPECT_EQ(shard_of(job, component, shards), first);
+    }
+  }
+}
+
+TEST(ShardRouterTest, ZeroOrOneShardsCollapseToShardZero) {
+  EXPECT_EQ(shard_of(123, 456, 0), 0u);
+  EXPECT_EQ(shard_of(123, 456, 1), 0u);
+}
+
+/// chi2 occupancy statistic for `nodes` assignments over `shards` bins.
+double occupancy_chi2(const std::vector<std::pair<std::int64_t, std::int64_t>>& nodes,
+                      std::size_t shards) {
+  std::vector<std::size_t> counts(shards, 0);
+  for (const auto& [job, component] : nodes) {
+    ++counts[shard_of(job, component, shards)];
+  }
+  const double expected = static_cast<double>(nodes.size()) / shards;
+  double chi2 = 0.0;
+  for (const std::size_t count : counts) {
+    const double delta = static_cast<double>(count) - expected;
+    chi2 += delta * delta / expected;
+  }
+  return chi2;
+}
+
+/// chi-square critical values at p = 0.001 for df = shards - 1.  An unlucky
+/// corpus fails one bound with probability 1e-3; the corpora below are fixed
+/// (seeded), so the test is deterministic — the bound only bites if the hash
+/// itself skews.
+double chi2_bound(std::size_t shards) {
+  static const std::map<std::size_t, double> critical = {
+      {2, 10.83}, {3, 13.82}, {4, 16.27}, {5, 18.47},
+      {8, 24.32}, {16, 37.70}, {32, 61.10}, {64, 103.44}};
+  return critical.at(shards);
+}
+
+TEST(ShardRouterTest, SequentialFleetIdsSpreadUniformly) {
+  // The common HPC layout: jobs with dense sequential component ids
+  // (first_component_id = job * 100 + n), exactly what the simulator emits.
+  std::vector<std::pair<std::int64_t, std::int64_t>> nodes;
+  for (std::int64_t job = 1; job <= 64; ++job) {
+    for (std::int64_t n = 0; n < 256; ++n) {
+      nodes.emplace_back(job, job * 1000 + n);
+    }
+  }
+  for (const std::size_t shards : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    EXPECT_LT(occupancy_chi2(nodes, shards), chi2_bound(shards))
+        << "sequential corpus skews at " << shards << " shards";
+  }
+}
+
+TEST(ShardRouterTest, RandomizedCorporaSpreadUniformly) {
+  for (const std::uint64_t seed : {1ULL, 77ULL, 20260808ULL}) {
+    util::Rng rng(seed);
+    std::vector<std::pair<std::int64_t, std::int64_t>> nodes;
+    nodes.reserve(16384);
+    for (int i = 0; i < 16384; ++i) {
+      nodes.emplace_back(static_cast<std::int64_t>(rng() >> 20),
+                         static_cast<std::int64_t>(rng() >> 16));
+    }
+    for (const std::size_t shards : {2u, 4u, 8u, 16u}) {
+      EXPECT_LT(occupancy_chi2(nodes, shards), chi2_bound(shards))
+          << "random corpus (seed " << seed << ") skews at " << shards
+          << " shards";
+    }
+  }
+}
+
+TEST(ShardRouterTest, SingleJobFleetSpreadsUniformly) {
+  // A 50k-node fleet under ONE job id: component id is the only entropy.
+  std::vector<std::pair<std::int64_t, std::int64_t>> nodes;
+  for (std::int64_t n = 0; n < 50000; ++n) nodes.emplace_back(424242, n);
+  for (const std::size_t shards : {2u, 4u, 8u, 16u, 32u}) {
+    EXPECT_LT(occupancy_chi2(nodes, shards), chi2_bound(shards))
+        << "single-job fleet skews at " << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace prodigy::deploy

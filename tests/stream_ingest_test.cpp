@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -49,16 +49,14 @@ void expect_accounting_balances(const stream::IngestorStats& stats) {
                 stats.malformed_samples);
 }
 
-/// Records every flush; slows the consumer down by `delay` per call.
+/// Records every flush and exposes condition-variable waits so tests can
+/// sequence against the consumer thread without wall-clock sleeps.
 class CollectingSink : public stream::RowSink {
  public:
-  explicit CollectingSink(std::chrono::milliseconds delay = {}) : delay_(delay) {}
-
   void on_rows(std::int64_t job_id, std::int64_t component_id,
                const std::string& app,
                std::span<const std::int64_t> timestamps,
                const tensor::Matrix& rows) override {
-    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
     std::lock_guard lock(mutex_);
     Flush flush;
     flush.job_id = job_id;
@@ -66,7 +64,9 @@ class CollectingSink : public stream::RowSink {
     flush.app = app;
     flush.timestamps.assign(timestamps.begin(), timestamps.end());
     flush.rows = rows.rows();
+    flushed_rows_ += flush.rows;
     flushes_.push_back(std::move(flush));
+    cv_.notify_all();
   }
 
   struct Flush {
@@ -82,10 +82,65 @@ class CollectingSink : public stream::RowSink {
     return flushes_;
   }
 
+  /// Blocks until at least `rows` samples have been flushed through the sink
+  /// (the deterministic replacement for the old poll-and-sleep loops).
+  void wait_for_rows(std::uint64_t rows) const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return flushed_rows_ >= rows; });
+  }
+
  private:
-  std::chrono::milliseconds delay_;
   mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
   std::vector<Flush> flushes_;
+  std::uint64_t flushed_rows_ = 0;
+};
+
+/// A sink whose gate starts closed: the consumer thread parks inside the
+/// first on_rows until open() — so a test can build an exact queue state
+/// behind a wedged consumer and assert backpressure arithmetic with
+/// EXPECT_EQ instead of racing a sleep-slowed consumer.
+class GatedSink : public stream::RowSink {
+ public:
+  void on_rows(std::int64_t, std::int64_t, const std::string&,
+               std::span<const std::int64_t>,
+               const tensor::Matrix& rows) override {
+    std::unique_lock lock(mutex_);
+    if (!open_) {
+      parked_ = true;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return open_; });
+      parked_ = false;
+    }
+    flushed_rows_ += rows.rows();
+  }
+
+  /// Blocks until the consumer thread is parked inside on_rows.
+  void wait_until_parked() const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return parked_; });
+  }
+
+  /// Opens the gate permanently; the parked consumer resumes.
+  void open() {
+    {
+      std::lock_guard lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::uint64_t flushed_rows() const {
+    std::lock_guard lock(mutex_);
+    return flushed_rows_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool open_ = false;
+  bool parked_ = false;
+  std::uint64_t flushed_rows_ = 0;
 };
 
 TEST(StreamIngestTest, OutOfOrderRowsWithinABatchFlushSorted) {
@@ -143,19 +198,20 @@ TEST(StreamIngestTest, DuplicateTimestampsCountedOnce) {
 
 TEST(StreamIngestTest, RowsBehindTheFlushWatermarkAreLate) {
   deploy::DsosStore store;
+  CollectingSink sink;
   auto config = small_config();
   config.flush_rows = 1;  // flush after every batch
-  stream::StreamIngestor ingestor(store, config, nullptr);
+  stream::StreamIngestor ingestor(store, config, &sink);
 
   stream::SampleBatch first;
   first.rows.push_back(make_row(100, 10));
   first.rows.push_back(make_row(100, 11));
   EXPECT_TRUE(ingestor.offer(std::move(first)));
-  // Wait for the flush so the node's watermark advances to 11.
-  for (int i = 0; i < 2000 && ingestor.stats().flushed_samples < 2; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  ASSERT_EQ(ingestor.stats().flushed_samples, 2u);
+  // Wait (cv, not wall clock) for the flush: the node's watermark advances
+  // to 11 before the sink sees the rows, so the next batch is judged late
+  // deterministically.  (stats() may trail the sink by a beat; the final
+  // accounting below covers it.)
+  sink.wait_for_rows(2);
 
   stream::SampleBatch second;
   second.rows.push_back(make_row(100, 11));  // behind watermark: late
@@ -192,17 +248,26 @@ TEST(StreamIngestTest, MalformedRowWidthCountedAndSkipped) {
 
 TEST(StreamIngestTest, BlockPolicyLosesNothingUnderSlowConsumer) {
   deploy::DsosStore store;
-  CollectingSink sink(std::chrono::milliseconds(2));
+  GatedSink sink;
   auto config = small_config();
   config.queue_capacity = 2;
-  config.flush_rows = 1;  // every batch hits the slow sink
+  config.flush_rows = 1;  // every batch hits the gated sink
   config.policy = stream::BackpressurePolicy::Block;
   stream::StreamIngestor ingestor(store, config, &sink);
 
+  // Wedge the consumer inside batch 0's flush, then fill the queue from a
+  // producer thread: it must park on the full queue (Block) and, once the
+  // gate opens, deliver every batch — nothing may be lost.
   constexpr std::int64_t kBatches = 40;
-  for (std::int64_t t = 0; t < kBatches; ++t) {
-    EXPECT_TRUE(ingestor.offer(one_row_batch(100, t)));
-  }
+  EXPECT_TRUE(ingestor.offer(one_row_batch(100, 0)));
+  sink.wait_until_parked();
+  std::thread producer([&] {
+    for (std::int64_t t = 1; t < kBatches; ++t) {
+      EXPECT_TRUE(ingestor.offer(one_row_batch(100, t)));
+    }
+  });
+  sink.open();
+  producer.join();
   ingestor.stop();
 
   const auto stats = ingestor.stats();
@@ -216,52 +281,64 @@ TEST(StreamIngestTest, BlockPolicyLosesNothingUnderSlowConsumer) {
 
 TEST(StreamIngestTest, DropOldestEvictsQueuedBatchesExactly) {
   deploy::DsosStore store;
-  CollectingSink sink(std::chrono::milliseconds(5));
+  GatedSink sink;
   auto config = small_config();
   config.queue_capacity = 2;
   config.flush_rows = 1;
   config.policy = stream::BackpressurePolicy::DropOldest;
   stream::StreamIngestor ingestor(store, config, &sink);
 
+  // Consumer wedged on batch 0's flush; batches 1..29 then hit a capacity-2
+  // queue, so exactly 27 evictions happen and the 2 newest survive.
   constexpr std::int64_t kBatches = 30;
-  for (std::int64_t t = 0; t < kBatches; ++t) {
+  EXPECT_TRUE(ingestor.offer(one_row_batch(100, 0)));
+  sink.wait_until_parked();
+  for (std::int64_t t = 1; t < kBatches; ++t) {
     // offer() never rejects under DropOldest; it evicts instead.
     EXPECT_TRUE(ingestor.offer(one_row_batch(100, t)));
   }
+  sink.open();
   ingestor.stop();
 
   const auto stats = ingestor.stats();
   EXPECT_EQ(stats.offered_samples, static_cast<std::uint64_t>(kBatches));
-  EXPECT_GT(stats.dropped_samples, 0u);  // a 5 ms/batch consumer must shed load
-  EXPECT_EQ(stats.flushed_samples + stats.dropped_samples,
-            static_cast<std::uint64_t>(kBatches));
+  EXPECT_EQ(stats.dropped_samples, static_cast<std::uint64_t>(kBatches) - 3);
+  EXPECT_EQ(stats.flushed_samples, 3u);  // batch 0 + the 2 queue survivors
   expect_accounting_balances(stats);
-  // Exactly the flushed rows reached the store.
-  EXPECT_EQ(store.query_node(7, 100).values.rows(),
-            static_cast<std::size_t>(stats.flushed_samples));
+  // Exactly the flushed rows reached the store, and the survivors are the
+  // two newest batches.
+  const auto series = store.query_node(7, 100);
+  ASSERT_EQ(series.values.rows(), 3u);
+  EXPECT_DOUBLE_EQ(series.values.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(series.values.at(1, 0), static_cast<double>(kBatches - 2));
+  EXPECT_DOUBLE_EQ(series.values.at(2, 0), static_cast<double>(kBatches - 1));
 }
 
 TEST(StreamIngestTest, DropNewestRejectsAndReportsEachDrop) {
   deploy::DsosStore store;
-  CollectingSink sink(std::chrono::milliseconds(5));
+  GatedSink sink;
   auto config = small_config();
   config.queue_capacity = 2;
   config.flush_rows = 1;
   config.policy = stream::BackpressurePolicy::DropNewest;
   stream::StreamIngestor ingestor(store, config, &sink);
 
+  // Consumer wedged on batch 0's flush: batches 1 and 2 fill the queue and
+  // every later offer is rejected outright — 27 exact, reported drops.
   constexpr std::int64_t kBatches = 30;
+  EXPECT_TRUE(ingestor.offer(one_row_batch(100, 0)));
+  sink.wait_until_parked();
   std::uint64_t rejected = 0;
-  for (std::int64_t t = 0; t < kBatches; ++t) {
+  for (std::int64_t t = 1; t < kBatches; ++t) {
     if (!ingestor.offer(one_row_batch(100, t))) ++rejected;
   }
+  sink.open();
   ingestor.stop();
 
   const auto stats = ingestor.stats();
-  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(rejected, static_cast<std::uint64_t>(kBatches) - 3);
   EXPECT_EQ(stats.dropped_samples, rejected);  // one row per batch
-  EXPECT_EQ(stats.flushed_samples,
-            static_cast<std::uint64_t>(kBatches) - rejected);
+  EXPECT_EQ(stats.flushed_samples, 3u);  // batch 0 + the 2 queued before full
   expect_accounting_balances(stats);
 }
 

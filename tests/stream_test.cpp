@@ -9,7 +9,10 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -335,6 +338,85 @@ TEST(AlertBusTest, VerdictSinksSeeEveryPublishAndUnsubscribeStops) {
 TEST(AlertBusTest, ZeroDebounceRejected) {
   EXPECT_THROW(stream::EventBus bus({.debounce_windows = 0}),
                std::invalid_argument);
+}
+
+// One shared EventBus under concurrent multi-shard publishers: each "shard"
+// thread owns a disjoint node set (exactly the sharded service's routing
+// guarantee) and publishes its nodes' verdict sequences in window order.
+// Debounced per-node transition streams must then be identical to a serial
+// oracle, whatever the thread interleaving — debounce state is per-node, so
+// shard concurrency must never leak between nodes.
+TEST(AlertBusConcurrencyTest, ShardPublishersKeepPerNodeTransitionsOrdered) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kNodesPerShard = 3;
+  constexpr std::uint64_t kWindows = 40;
+
+  // Deterministic per-node verdict script: settle healthy, then a
+  // node-dependent mix of runs long enough to flip and flaps short enough to
+  // be suppressed.
+  auto scripted = [](std::int64_t component, std::uint64_t window) {
+    if (window < 3) return false;                      // initial settle
+    const auto phase = (window + static_cast<std::uint64_t>(component)) / 6;
+    return phase % 2 == 1;                             // 6-window state runs
+  };
+
+  auto run = [&](bool concurrent) {
+    stream::EventBus bus({.debounce_windows = 3});
+    std::mutex transitions_mutex;
+    std::map<std::int64_t, std::vector<stream::TransitionEvent>> transitions;
+    bus.subscribe_transitions([&](const stream::TransitionEvent& event) {
+      std::lock_guard lock(transitions_mutex);
+      transitions[event.component_id].push_back(event);
+    });
+
+    auto publish_shard = [&](std::size_t shard) {
+      // Per-node window order is the publisher's contract (the OnlineScorer
+      // chains each node's windows); across nodes the order is free.
+      for (std::uint64_t window = 0; window < kWindows; ++window) {
+        for (std::size_t n = 0; n < kNodesPerShard; ++n) {
+          const auto component =
+              static_cast<std::int64_t>(100 * (shard + 1) + n);
+          bus.publish(verdict(component, window, scripted(component, window)));
+        }
+      }
+    };
+
+    if (concurrent) {
+      std::vector<std::thread> shards;
+      for (std::size_t s = 0; s < kShards; ++s) {
+        shards.emplace_back([&, s] { publish_shard(s); });
+      }
+      for (auto& shard : shards) shard.join();
+    } else {
+      for (std::size_t s = 0; s < kShards; ++s) publish_shard(s);
+    }
+
+    // The debounce ledger balances regardless of interleaving.
+    EXPECT_EQ(bus.verdicts_published(), kShards * kNodesPerShard * kWindows);
+    EXPECT_EQ(bus.verdicts_published(),
+              bus.transitions_published() + bus.suppressed());
+    std::lock_guard lock(transitions_mutex);
+    return transitions;
+  };
+
+  const auto oracle = run(/*concurrent=*/false);
+  const auto concurrent = run(/*concurrent=*/true);
+
+  ASSERT_EQ(concurrent.size(), oracle.size());
+  for (const auto& [component, expected] : oracle) {
+    const auto it = concurrent.find(component);
+    ASSERT_NE(it, concurrent.end()) << "node " << component;
+    const auto& got = it->second;
+    ASSERT_EQ(got.size(), expected.size()) << "node " << component;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].anomalous, expected[i].anomalous);
+      EXPECT_EQ(got[i].initial, expected[i].initial);
+      EXPECT_EQ(got[i].window_index, expected[i].window_index);
+      EXPECT_EQ(got[i].consecutive, expected[i].consecutive);
+      // Ordered: each node's transition stream advances monotonically.
+      if (i > 0) EXPECT_GT(got[i].window_index, got[i - 1].window_index);
+    }
+  }
 }
 
 }  // namespace
