@@ -66,6 +66,14 @@ VariationalAutoencoder::VariationalAutoencoder(const VaeConfig& config)
   auto specs = hidden_specs(decoder_sizes, config.hidden_activation);
   specs.push_back({config.input_dim, nn::Activation::Linear});
   decoder_ = nn::Mlp(config.latent_dim, specs, rng);
+
+  build_inference_plan(nn::PlanPrecision::Full);
+}
+
+void VariationalAutoencoder::build_inference_plan(nn::PlanPrecision precision) {
+  nn::InferencePlan::Builder builder;
+  builder.add(encoder_).add(mu_head_).add(decoder_);
+  plan_ = std::make_shared<const nn::InferencePlan>(builder.build(precision));
 }
 
 std::size_t VariationalAutoencoder::parameter_count() const noexcept {
@@ -174,7 +182,7 @@ nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
     double epoch_loss = 0.0;
-    std::size_t batches = 0;
+    std::size_t epoch_rows = 0;
     for (const auto& batch : nn::make_batches(train.rows(), options.batch_size, rng)) {
       const tensor::Matrix x = train.select_rows(batch);
       encoder_.zero_gradients();
@@ -183,10 +191,15 @@ nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
       decoder_.zero_gradients();
       const StepResult step = forward_backward(x, rng);
       optimizer.step();
-      epoch_loss += step.recon + config_.kl_weight * step.kl;
-      ++batches;
+      // Row-weighted epoch loss: forward_backward returns per-batch *means*,
+      // so the ragged final batch of a non-divisible epoch must contribute
+      // proportionally to its row count, or train_loss is skewed against
+      // validation_loss (which is a plain mean over all rows).
+      epoch_loss +=
+          (step.recon + config_.kl_weight * step.kl) * static_cast<double>(x.rows());
+      epoch_rows += x.rows();
     }
-    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, epoch_rows));
     history.train_loss.push_back(epoch_loss);
     ++history.epochs_run;
     util::MetricsRegistry::global().counter("prodigy_vae_epochs_total").increment();
@@ -209,6 +222,9 @@ nn::TrainHistory VariationalAutoencoder::fit(const tensor::Matrix& X,
       util::log_info("VAE epoch ", epoch, " loss ", epoch_loss);
     }
   }
+  // Repack the fused plan from the trained weights, keeping whatever
+  // precision the caller had opted into.
+  build_inference_plan(inference_precision());
   return history;
 }
 
@@ -219,6 +235,11 @@ tensor::Matrix VariationalAutoencoder::encode_mean(const tensor::Matrix& X) cons
 }
 
 tensor::Matrix VariationalAutoencoder::reconstruct(const tensor::Matrix& X) const {
+  if (plan_) {
+    tensor::Matrix out;
+    plan_->run(X, out);
+    return out;
+  }
   InferScratch& s = infer_scratch;
   encoder_.forward_inference_into(X, s.h);
   mu_head_.forward_inference_into(s.h, s.mu);
@@ -227,8 +248,20 @@ tensor::Matrix VariationalAutoencoder::reconstruct(const tensor::Matrix& X) cons
 
 std::vector<double> VariationalAutoencoder::reconstruction_error(
     const tensor::Matrix& X) const {
-  // The anomaly-score hot path: every stage writes into per-thread scratch,
-  // so a warmed-up thread scores with zero matrix allocations.
+  // The anomaly-score hot path: one fused sweep through the packed
+  // encoder→mu→decoder plan into per-thread scratch — zero matrix
+  // allocations once a thread has warmed up, and at Full precision
+  // bit-identical to the layerwise oracle below.
+  if (plan_) {
+    InferScratch& s = infer_scratch;
+    plan_->run(X, s.recon);
+    return tensor::rowwise_mean_abs_error(X, s.recon);
+  }
+  return reconstruction_error_layerwise(X);
+}
+
+std::vector<double> VariationalAutoencoder::reconstruction_error_layerwise(
+    const tensor::Matrix& X) const {
   InferScratch& s = infer_scratch;
   encoder_.forward_inference_into(X, s.h);
   mu_head_.forward_inference_into(s.h, s.mu);
@@ -295,6 +328,57 @@ VariationalAutoencoder VariationalAutoencoder::load(util::BinaryReader& reader) 
   vae.mu_head_ = nn::Dense::load(reader);
   vae.logvar_head_ = nn::Dense::load(reader);
   vae.decoder_ = nn::Mlp::load(reader);
+
+  // Cross-validate the loaded components against the header config: a
+  // corrupted or truncated-and-spliced file must fail here with a dimension
+  // message, not later as a GEMM shape error (or a silently wrong score).
+  const auto check = [](bool ok, const std::string& what) {
+    if (!ok) {
+      throw std::runtime_error("VariationalAutoencoder::load: " + what +
+                               "; model file is corrupt");
+    }
+  };
+  const auto& cfg = vae.config_;
+  check(cfg.input_dim > 0, "input_dim is 0");
+  check(cfg.latent_dim > 0, "latent_dim is 0");
+  check(!cfg.encoder_hidden.empty(), "no encoder hidden layers");
+  check(vae.encoder_.input_dim() == cfg.input_dim,
+        "encoder input dim " + std::to_string(vae.encoder_.input_dim()) +
+            " != config input_dim " + std::to_string(cfg.input_dim));
+  check(vae.encoder_.layer_count() == cfg.encoder_hidden.size(),
+        "encoder has " + std::to_string(vae.encoder_.layer_count()) +
+            " layers, config lists " +
+            std::to_string(cfg.encoder_hidden.size()));
+  for (std::size_t i = 0; i < cfg.encoder_hidden.size(); ++i) {
+    check(vae.encoder_.layer(i).out_features() == cfg.encoder_hidden[i],
+          "encoder layer " + std::to_string(i) + " width " +
+              std::to_string(vae.encoder_.layer(i).out_features()) +
+              " != config encoder_hidden " +
+              std::to_string(cfg.encoder_hidden[i]));
+  }
+  const std::size_t hidden_out = cfg.encoder_hidden.back();
+  check(vae.mu_head_.in_features() == hidden_out,
+        "mu head input dim " + std::to_string(vae.mu_head_.in_features()) +
+            " != encoder_hidden.back() " + std::to_string(hidden_out));
+  check(vae.mu_head_.out_features() == cfg.latent_dim,
+        "mu head output dim " + std::to_string(vae.mu_head_.out_features()) +
+            " != latent_dim " + std::to_string(cfg.latent_dim));
+  check(vae.logvar_head_.in_features() == hidden_out,
+        "logvar head input dim " +
+            std::to_string(vae.logvar_head_.in_features()) +
+            " != encoder_hidden.back() " + std::to_string(hidden_out));
+  check(vae.logvar_head_.out_features() == cfg.latent_dim,
+        "logvar head output dim " +
+            std::to_string(vae.logvar_head_.out_features()) +
+            " != latent_dim " + std::to_string(cfg.latent_dim));
+  check(vae.decoder_.input_dim() == cfg.latent_dim,
+        "decoder input dim " + std::to_string(vae.decoder_.input_dim()) +
+            " != latent_dim " + std::to_string(cfg.latent_dim));
+  check(vae.decoder_.output_dim() == cfg.input_dim,
+        "decoder output dim " + std::to_string(vae.decoder_.output_dim()) +
+            " != input_dim " + std::to_string(cfg.input_dim));
+
+  vae.build_inference_plan(nn::PlanPrecision::Full);
   return vae;
 }
 

@@ -4,11 +4,13 @@
 //   loss   = E[recon(x, xhat)] + kl_weight * KL(q(z|x) || N(0, I)).
 #pragma once
 
+#include "nn/inference_plan.hpp"
 #include "nn/loss.hpp"
 #include "nn/mlp.hpp"
 #include "nn/trainer.hpp"
 #include "util/serialize.hpp"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,8 +47,33 @@ class VariationalAutoencoder {
   tensor::Matrix reconstruct(const tensor::Matrix& X) const;
 
   /// Per-sample mean absolute reconstruction error (the paper's anomaly
-  /// score, §3.3-3.4).
+  /// score, §3.3-3.4).  Runs through the fused encoder→mu→decoder
+  /// InferencePlan; at PlanPrecision::Full the result is bit-identical to
+  /// reconstruction_error_layerwise().
   std::vector<double> reconstruction_error(const tensor::Matrix& X) const;
+
+  /// The original layer-by-layer scoring path, kept as the bit-exactness
+  /// oracle for the fused plan (parity-tested with EXPECT_EQ).
+  std::vector<double> reconstruction_error_layerwise(const tensor::Matrix& X) const;
+
+  /// Rebuilds the fused inference plan at the given precision.  Full is the
+  /// default everywhere; Bf16/Int8 are the opt-in reduced-precision modes
+  /// (see docs/performance.md for the accuracy gate).
+  void build_inference_plan(nn::PlanPrecision precision);
+  nn::PlanPrecision inference_precision() const noexcept {
+    return plan_ ? plan_->precision() : nn::PlanPrecision::Full;
+  }
+  /// The active fused plan (never null after construction/fit/load).
+  std::shared_ptr<const nn::InferencePlan> inference_plan() const noexcept {
+    return plan_;
+  }
+
+  // Component access (read-only): used by the fused-plan parity tests and
+  // the training-loss replication test.
+  const nn::Mlp& encoder() const noexcept { return encoder_; }
+  const nn::Dense& mu_head() const noexcept { return mu_head_; }
+  const nn::Dense& logvar_head() const noexcept { return logvar_head_; }
+  const nn::Mlp& decoder() const noexcept { return decoder_; }
 
   /// Draws n new samples from the prior through the decoder (generative use).
   tensor::Matrix sample(std::size_t n, util::Rng& rng) const;
@@ -70,6 +97,10 @@ class VariationalAutoencoder {
   nn::Dense mu_head_;      // hidden -> latent (linear)
   nn::Dense logvar_head_;  // hidden -> latent (linear)
   nn::Mlp decoder_;        // latent -> ... -> input (linear output)
+  // Fused encoder→mu→decoder plan for the scoring paths.  shared_ptr so
+  // copies of the VAE (ModelBundle, OnlineScorer) share the immutable packed
+  // weights; rebuilt whenever the parameters change (ctor, fit, load).
+  std::shared_ptr<const nn::InferencePlan> plan_;
 };
 
 }  // namespace prodigy::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace prodigy::eval {
@@ -86,18 +87,36 @@ ThresholdSearch best_threshold_by_f1(const std::vector<double>& scores,
   // incrementally).  `steps` bounds nothing here; kept for API stability.
   (void)steps;
 
-  std::vector<std::size_t> order(scores.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // A NaN score compares false against every threshold, so `score > t` in
+  // predictions_at_threshold / ProdigyDetector::predict classifies it healthy
+  // no matter what t is.  Keep the sweep consistent with that: NaN rows sit
+  // permanently in the predicted-healthy column of the confusion matrix and
+  // are excluded from the candidate-threshold walk.  (They previously wedged
+  // the tie-grouping loop below — NaN == NaN is false, so it never advanced.)
+  std::vector<std::size_t> order;
+  order.reserve(scores.size());
+  ConfusionMatrix cm{0, 0, 0, 0};
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (std::isnan(scores[i])) {
+      if (truth[i] != 0) ++cm.false_negative;
+      else ++cm.true_negative;
+    } else {
+      order.push_back(i);
+    }
+  }
   std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
     return scores[a] > scores[b];
   });
 
-  std::size_t positives = 0;
-  for (const int label : truth) positives += label != 0 ? 1 : 0;
-  const std::size_t negatives = truth.size() - positives;
-
   // Start with threshold above every score: nothing predicted anomalous.
-  ConfusionMatrix cm{0, negatives, 0, positives};
+  for (const std::size_t i : order) {
+    if (truth[i] != 0) ++cm.false_negative;
+    else ++cm.true_negative;
+  }
+  if (order.empty()) {
+    // Every score is NaN: any threshold yields the all-healthy prediction.
+    return ThresholdSearch{std::numeric_limits<double>::infinity(), macro_f1(cm)};
+  }
   const double max_score = scores[order.front()];
   ThresholdSearch best{std::nextafter(max_score, max_score + 1.0), macro_f1(cm)};
 

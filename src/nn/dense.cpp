@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace prodigy::nn {
 
@@ -109,6 +111,12 @@ Dense Dense::load(util::BinaryReader& reader) {
   Dense layer;
   layer.in_ = reader.read_u64();
   layer.out_ = reader.read_u64();
+  if (layer.in_ == 0 || layer.out_ == 0) {
+    throw std::runtime_error("Dense::load: zero-sized layer (" +
+                             std::to_string(layer.in_) + " x " +
+                             std::to_string(layer.out_) +
+                             "); stream is corrupt");
+  }
   layer.act_ = activation_from_string(reader.read_string());
   layer.weights_ = tensor::Matrix(layer.in_, layer.out_);
   layer.weights_.storage() = reader.read_f64_vector();

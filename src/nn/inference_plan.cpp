@@ -1,0 +1,359 @@
+// This translation unit carries the Full-precision fused sweep and is
+// compiled with -ffp-contract=off (see src/CMakeLists.txt), exactly like
+// tensor/kernels.cpp: every output element must be the same pure ascending-k
+// mul-then-add sum the layerwise Dense path commits, so fused-vs-layerwise
+// EXPECT_EQ parity cannot depend on whether the compiler fused an FMA in one
+// loop body and not the other.  The reduced-precision sweeps live in
+// inference_plan_quant.cpp, which has no such contract.
+#include "nn/inference_plan.hpp"
+
+#include "nn/mlp.hpp"
+#include "tensor/kernels.hpp"
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#if defined(PRODIGY_NO_SIMD)
+#define PRODIGY_SIMD
+#else
+#define PRODIGY_SIMD _Pragma("omp simd")
+#endif
+
+namespace prodigy::nn {
+
+namespace {
+
+// Rows per batch tile: one ping-pong tile half of the widest VAE layer
+// (64 x 1024 doubles = 512 KB for the Tier-1 shape) stays L2-resident while
+// the packed weights stream over it.
+constexpr std::size_t kTileRows = 64;
+
+tensor::kernels::FusedAct fused(Activation act) {
+  switch (act) {
+    case Activation::Linear:
+      return tensor::kernels::FusedAct::None;
+    case Activation::ReLU:
+      return tensor::kernels::FusedAct::ReLU;
+    case Activation::Tanh:
+      return tensor::kernels::FusedAct::Tanh;
+    case Activation::Sigmoid:
+      return tensor::kernels::FusedAct::Sigmoid;
+  }
+  return tensor::kernels::FusedAct::None;
+}
+
+// Mirror of kernels' epilogue activation; must stay formula-identical (ReLU
+// via `v < 0 ? 0 : v` so NaN propagates) for the bit-exactness contract.
+inline double activate(Activation act, double v) {
+  switch (act) {
+    case Activation::Linear:
+      return v;
+    case Activation::ReLU:
+      return v < 0.0 ? 0.0 : v;
+    case Activation::Tanh:
+      return std::tanh(v);
+    case Activation::Sigmoid:
+      return 1.0 / (1.0 + std::exp(-v));
+  }
+  return v;
+}
+
+// Per-thread activation tile: two ping-pong halves of kTileRows x max_width
+// doubles.  Grows once per thread to the largest plan seen, then every run
+// is allocation-free.
+double* tile_scratch(std::size_t doubles) {
+  thread_local std::vector<double> buf;
+  if (buf.size() < doubles) buf.resize(doubles);
+  return buf.data();
+}
+
+}  // namespace
+
+std::string to_string(PlanPrecision precision) {
+  switch (precision) {
+    case PlanPrecision::Full:
+      return "full";
+    case PlanPrecision::Bf16:
+      return "bf16";
+    case PlanPrecision::Int8:
+      return "int8";
+  }
+  return "full";
+}
+
+PlanPrecision plan_precision_from_string(const std::string& name) {
+  if (name == "full" || name == "fp64") return PlanPrecision::Full;
+  if (name == "bf16") return PlanPrecision::Bf16;
+  if (name == "int8") return PlanPrecision::Int8;
+  throw std::invalid_argument("unknown inference precision '" + name +
+                              "' (expected full, bf16, or int8)");
+}
+
+InferencePlan::Builder& InferencePlan::Builder::add(const Dense& layer) {
+  if (layer.in_features() == 0 || layer.out_features() == 0) {
+    throw std::invalid_argument(
+        "InferencePlan::Builder: layer has zero-sized dimensions (" +
+        std::to_string(layer.in_features()) + " x " +
+        std::to_string(layer.out_features()) + ")");
+  }
+  if (!layers_.empty() &&
+      layer.in_features() != layers_.back()->out_features()) {
+    throw std::invalid_argument(
+        "InferencePlan::Builder: layer input dim " +
+        std::to_string(layer.in_features()) +
+        " does not chain from previous output dim " +
+        std::to_string(layers_.back()->out_features()));
+  }
+  layers_.push_back(&layer);
+  return *this;
+}
+
+InferencePlan::Builder& InferencePlan::Builder::add(const Mlp& mlp) {
+  for (std::size_t i = 0; i < mlp.layer_count(); ++i) add(mlp.layer(i));
+  return *this;
+}
+
+InferencePlan InferencePlan::Builder::build(PlanPrecision precision) const {
+  if (layers_.empty()) {
+    throw std::invalid_argument("InferencePlan::Builder: no layers added");
+  }
+  InferencePlan plan;
+  plan.precision_ = precision;
+  plan.input_dim_ = layers_.front()->in_features();
+  plan.output_dim_ = layers_.back()->out_features();
+  plan.max_width_ = plan.input_dim_;
+  plan.layers_.reserve(layers_.size());
+
+  std::size_t w_total = 0;
+  std::size_t b_total = 0;
+  for (const Dense* dense : layers_) {
+    Layer layer;
+    layer.in = dense->in_features();
+    layer.out = dense->out_features();
+    layer.act = dense->activation();
+    if (precision == PlanPrecision::Full) {
+      // Weights then bias, contiguous per layer, one buffer for the chain.
+      layer.w_off = w_total + b_total;
+      layer.b_off = layer.w_off + layer.in * layer.out;
+    } else {
+      layer.w_off = w_total;
+      layer.b_off = b_total;
+    }
+    w_total += layer.in * layer.out;
+    b_total += layer.out;
+    plan.max_width_ = std::max(plan.max_width_, layer.out);
+    plan.layers_.push_back(layer);
+  }
+
+  switch (precision) {
+    case PlanPrecision::Full: {
+      plan.packed_.resize(w_total + b_total);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Dense& dense = *layers_[l];
+        const Layer& layer = plan.layers_[l];
+        std::copy_n(dense.weights().data(), layer.in * layer.out,
+                    plan.packed_.data() + layer.w_off);
+        std::copy_n(dense.bias().data(), layer.out,
+                    plan.packed_.data() + layer.b_off);
+      }
+      break;
+    }
+    case PlanPrecision::Bf16: {
+      plan.wq16_.resize(w_total);
+      plan.bias_f_.resize(b_total);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Dense& dense = *layers_[l];
+        const Layer& layer = plan.layers_[l];
+        const double* w = dense.weights().data();
+        std::uint16_t* dst = plan.wq16_.data() + layer.w_off;
+        for (std::size_t i = 0; i < layer.in * layer.out; ++i) {
+          dst[i] = bf16_from_double(w[i]);
+        }
+        for (std::size_t j = 0; j < layer.out; ++j) {
+          plan.bias_f_[layer.b_off + j] = static_cast<float>(dense.bias()[j]);
+        }
+      }
+      break;
+    }
+    case PlanPrecision::Int8: {
+      plan.wq8_.resize(w_total);
+      plan.bias_f_.resize(b_total);
+      plan.scales_.resize(b_total);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Dense& dense = *layers_[l];
+        const Layer& layer = plan.layers_[l];
+        const double* w = dense.weights().data();
+        std::int8_t* dst = plan.wq8_.data() + layer.w_off;
+        for (std::size_t j = 0; j < layer.out; ++j) {
+          // Symmetric per-output-column scale: amax / 127.
+          double amax = 0.0;
+          for (std::size_t k = 0; k < layer.in; ++k) {
+            const double v = std::abs(w[k * layer.out + j]);
+            if (std::isfinite(v) && v > amax) amax = v;
+          }
+          const double scale = amax > 0.0 ? amax / 127.0 : 1.0;
+          for (std::size_t k = 0; k < layer.in; ++k) {
+            const double q = std::nearbyint(w[k * layer.out + j] / scale);
+            dst[k * layer.out + j] = static_cast<std::int8_t>(
+                std::clamp(q, -127.0, 127.0));
+          }
+          plan.scales_[layer.b_off + j] = static_cast<float>(scale);
+          plan.bias_f_[layer.b_off + j] = static_cast<float>(dense.bias()[j]);
+        }
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+std::size_t InferencePlan::packed_bytes() const noexcept {
+  return packed_.size() * sizeof(double) + wq16_.size() * sizeof(std::uint16_t) +
+         wq8_.size() * sizeof(std::int8_t) + bias_f_.size() * sizeof(float) +
+         scales_.size() * sizeof(float);
+}
+
+// Fused m == 1 streaming sweep: every layer's output element is the pure
+// ascending-k axpy sum committed once through the bias+activation epilogue —
+// numerically the exact loop gemm_single_row runs, minus all per-layer
+// dispatch, shape checks, and Matrix plumbing.  Like gemm_single_row, the
+// accumulators live in a chunk-local stack buffer: the compiler can prove it
+// never aliases the weight stream (a heap destination would force reload
+// checks inside the axpy), and a chunk stays L1-resident for wide layers.
+void InferencePlan::run_single_row_full(const double* x, double* out) const {
+  constexpr std::size_t kChunk = 256;
+  double* scratch = tile_scratch(2 * max_width_);
+  double* ping = scratch;
+  double* pong = scratch + max_width_;
+  const double* cur = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool last = l + 1 == layers_.size();
+    double* dst = last ? out : (l % 2 == 0 ? ping : pong);
+    const double* w = packed_.data() + layer.w_off;
+    const double* bias = packed_.data() + layer.b_off;
+    const std::size_t n = layer.out;
+    for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
+      const std::size_t width = std::min(n - j0, kChunk);
+      double buf[kChunk];
+      PRODIGY_SIMD
+      for (std::size_t jj = 0; jj < width; ++jj) buf[jj] = 0.0;
+      for (std::size_t kk = 0; kk < layer.in; ++kk) {
+        const double av = cur[kk];
+        const double* wrow = w + kk * n + j0;
+        PRODIGY_SIMD
+        for (std::size_t jj = 0; jj < width; ++jj) buf[jj] += av * wrow[jj];
+      }
+      const double* brow = bias + j0;
+      double* drow = dst + j0;
+      switch (layer.act) {
+        case Activation::Linear:
+          PRODIGY_SIMD
+          for (std::size_t jj = 0; jj < width; ++jj) drow[jj] = buf[jj] + brow[jj];
+          break;
+        case Activation::ReLU:
+          PRODIGY_SIMD
+          for (std::size_t jj = 0; jj < width; ++jj) {
+            const double v = buf[jj] + brow[jj];
+            drow[jj] = v < 0.0 ? 0.0 : v;
+          }
+          break;
+        default:
+          for (std::size_t jj = 0; jj < width; ++jj) {
+            drow[jj] = activate(layer.act, buf[jj] + brow[jj]);
+          }
+          break;
+      }
+    }
+    cur = dst;
+  }
+}
+
+// One tile of up to kTileRows rows through the whole chain.  Each layer is a
+// raw NN GEMM over the packed weights with the fused bias+activation
+// epilogue; intermediates ping-pong between the two tile halves.
+void InferencePlan::run_rows_full(const double* x, std::size_t rows,
+                                  double* out, util::ThreadPool* pool) const {
+  if (rows == 1) {
+    run_single_row_full(x, out);
+    return;
+  }
+  double* scratch = tile_scratch(2 * kTileRows * max_width_);
+  double* ping = scratch;
+  double* pong = scratch + kTileRows * max_width_;
+  const double* cur = x;
+  std::size_t ld = input_dim_;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const bool last = l + 1 == layers_.size();
+    double* dst = last ? out : (l % 2 == 0 ? ping : pong);
+    tensor::kernels::Epilogue ep;
+    ep.bias = packed_.data() + layer.b_off;
+    ep.act = fused(layer.act);
+    tensor::kernels::gemm(tensor::kernels::Layout::NN, rows, layer.out,
+                          layer.in, cur, ld, packed_.data() + layer.w_off,
+                          layer.out, dst, layer.out, ep, pool);
+    cur = dst;
+    ld = layer.out;
+  }
+}
+
+void InferencePlan::run(const tensor::Matrix& x, tensor::Matrix& out,
+                        util::ThreadPool* pool) const {
+  if (layers_.empty()) {
+    throw std::logic_error("InferencePlan::run: empty plan (nothing built)");
+  }
+  if (x.cols() != input_dim_) {
+    throw std::invalid_argument("InferencePlan::run: input has " +
+                                std::to_string(x.cols()) +
+                                " columns, plan expects " +
+                                std::to_string(input_dim_));
+  }
+  // Alias immunity by construction: if the caller hands the same Matrix as
+  // input and output, snapshot the input into a per-thread backup before the
+  // resize below can disturb it.
+  const tensor::Matrix* src = &x;
+  if (&x == &out) {
+    thread_local tensor::Matrix alias_backup;
+    alias_backup = x;
+    src = &alias_backup;
+  }
+  out.resize_for_overwrite(src->rows(), output_dim_);
+  const std::size_t rows = src->rows();
+  if (rows == 0) return;
+
+  util::ThreadPool& tp = pool != nullptr ? *pool : util::ThreadPool::global();
+  const std::size_t tiles = (rows + kTileRows - 1) / kTileRows;
+  auto run_tile = [&](std::size_t t) {
+    const std::size_t r0 = t * kTileRows;
+    const std::size_t m = std::min(kTileRows, rows - r0);
+    const double* in = src->data() + r0 * input_dim_;
+    double* dst = out.data() + r0 * output_dim_;
+    switch (precision_) {
+      case PlanPrecision::Full:
+        // Inside a tile fan-out each task must stay single-threaded-in: the
+        // nested gemm still receives the pool, but parallel_for runs nested
+        // ranges inline on workers, and bits are pool-size-invariant anyway.
+        run_rows_full(in, m, dst, &tp);
+        break;
+      case PlanPrecision::Bf16:
+        detail::run_rows_bf16(*this, in, m, dst);
+        break;
+      case PlanPrecision::Int8:
+        detail::run_rows_int8(*this, in, m, dst);
+        break;
+    }
+  };
+  if (tiles <= 1 || tp.size() <= 1) {
+    for (std::size_t t = 0; t < tiles; ++t) run_tile(t);
+  } else {
+    // Tile banding: every output element is produced by exactly one task
+    // with the same per-element sum order, so any pool size gives the same
+    // bits (same argument as the kernel library's row banding).
+    util::parallel_for(tp, 0, tiles, run_tile, 1);
+  }
+}
+
+}  // namespace prodigy::nn

@@ -1,0 +1,159 @@
+// Reduced-precision inference sweeps (PlanPrecision::Bf16 / Int8).  Unlike
+// inference_plan.cpp this translation unit carries NO bit-exactness
+// contract — quantized scoring is gated by the F1-delta accuracy harness,
+// not EXPECT_EQ — so it is compiled without -ffp-contract=off and the
+// compiler is free to fuse FMAs.  Activations and accumulation are fp32;
+// weights stream as 2-byte bfloat16 (expanded by a bit shift) or 1-byte
+// int8 (dequantized by a per-output-column scale fused into the epilogue),
+// which is the 4x / 8x weight-traffic cut that buys the 1-row latency win.
+#include "nn/inference_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#if defined(PRODIGY_NO_SIMD)
+#define PRODIGY_SIMD
+#else
+#define PRODIGY_SIMD _Pragma("omp simd")
+#endif
+
+namespace prodigy::nn::detail {
+
+namespace {
+
+inline float activate_f(Activation act, float v) {
+  switch (act) {
+    case Activation::Linear:
+      return v;
+    case Activation::ReLU:
+      // NaN compares false and propagates, matching the fp64 epilogue.
+      return v < 0.0f ? 0.0f : v;
+    case Activation::Tanh:
+      return std::tanh(v);
+    case Activation::Sigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+  }
+  return v;
+}
+
+// Per-thread float ping-pong pair sized to the widest activation.
+float* quant_scratch(std::size_t floats) {
+  thread_local std::vector<float> buf;
+  if (buf.size() < floats) buf.resize(floats);
+  return buf.data();
+}
+
+// Accumulator chunk width: like gemm_single_row, partial sums live in a
+// chunk-local stack buffer the compiler can prove never aliases the weight
+// stream (a heap destination forces reload checks inside the axpy).
+constexpr std::size_t kChunk = 256;
+
+}  // namespace
+
+void run_rows_bf16(const InferencePlan& plan, const double* x,
+                   std::size_t rows, double* out) {
+  const std::size_t width = plan.max_width();
+  float* scratch = quant_scratch(2 * width);
+  float* ping = scratch;
+  float* pong = scratch + width;
+  const auto& layers = plan.layers();
+  const std::uint16_t* weights = plan.packed_bf16().data();
+  const float* biases = plan.quant_bias().data();
+  const std::size_t in_dim = plan.input_dim();
+  const std::size_t out_dim = plan.output_dim();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xr = x + r * in_dim;
+    PRODIGY_SIMD
+    for (std::size_t k = 0; k < in_dim; ++k) ping[k] = static_cast<float>(xr[k]);
+    const float* cur = ping;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const InferencePlan::Layer& layer = layers[l];
+      float* dst = cur == ping ? pong : ping;
+      const std::uint16_t* w = weights + layer.w_off;
+      const float* bias = biases + layer.b_off;
+      const std::size_t n = layer.out;
+      for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
+        const std::size_t cw = std::min(n - j0, kChunk);
+        float buf[kChunk];
+        PRODIGY_SIMD
+        for (std::size_t jj = 0; jj < cw; ++jj) buf[jj] = 0.0f;
+        for (std::size_t kk = 0; kk < layer.in; ++kk) {
+          const float av = cur[kk];
+          const std::uint16_t* wrow = w + kk * n + j0;
+          PRODIGY_SIMD
+          for (std::size_t jj = 0; jj < cw; ++jj) {
+            buf[jj] += av * bf16_to_float(wrow[jj]);
+          }
+        }
+        for (std::size_t jj = 0; jj < cw; ++jj) {
+          dst[j0 + jj] = activate_f(layer.act, buf[jj] + bias[j0 + jj]);
+        }
+      }
+      cur = dst;
+    }
+    double* orow = out + r * out_dim;
+    PRODIGY_SIMD
+    for (std::size_t j = 0; j < out_dim; ++j) {
+      orow[j] = static_cast<double>(cur[j]);
+    }
+  }
+}
+
+void run_rows_int8(const InferencePlan& plan, const double* x,
+                   std::size_t rows, double* out) {
+  const std::size_t width = plan.max_width();
+  float* scratch = quant_scratch(2 * width);
+  float* ping = scratch;
+  float* pong = scratch + width;
+  const auto& layers = plan.layers();
+  const std::int8_t* weights = plan.packed_int8().data();
+  const float* biases = plan.quant_bias().data();
+  const float* scales = plan.quant_scales().data();
+  const std::size_t in_dim = plan.input_dim();
+  const std::size_t out_dim = plan.output_dim();
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xr = x + r * in_dim;
+    PRODIGY_SIMD
+    for (std::size_t k = 0; k < in_dim; ++k) ping[k] = static_cast<float>(xr[k]);
+    const float* cur = ping;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      const InferencePlan::Layer& layer = layers[l];
+      float* dst = cur == ping ? pong : ping;
+      const std::int8_t* w = weights + layer.w_off;
+      const float* bias = biases + layer.b_off;
+      const float* scale = scales + layer.b_off;
+      const std::size_t n = layer.out;
+      for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
+        const std::size_t cw = std::min(n - j0, kChunk);
+        float buf[kChunk];
+        PRODIGY_SIMD
+        for (std::size_t jj = 0; jj < cw; ++jj) buf[jj] = 0.0f;
+        for (std::size_t kk = 0; kk < layer.in; ++kk) {
+          const float av = cur[kk];
+          const std::int8_t* wrow = w + kk * n + j0;
+          PRODIGY_SIMD
+          for (std::size_t jj = 0; jj < cw; ++jj) {
+            buf[jj] += av * static_cast<float>(wrow[jj]);
+          }
+        }
+        // Dequantize in the epilogue: the whole accumulated integer-weight
+        // sum scales by the column's amax/127 before bias + activation.
+        for (std::size_t jj = 0; jj < cw; ++jj) {
+          dst[j0 + jj] = activate_f(layer.act,
+                                    buf[jj] * scale[j0 + jj] + bias[j0 + jj]);
+        }
+      }
+      cur = dst;
+    }
+    double* orow = out + r * out_dim;
+    PRODIGY_SIMD
+    for (std::size_t j = 0; j < out_dim; ++j) {
+      orow[j] = static_cast<double>(cur[j]);
+    }
+  }
+}
+
+}  // namespace prodigy::nn::detail

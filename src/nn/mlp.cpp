@@ -1,6 +1,8 @@
 #include "nn/mlp.hpp"
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace prodigy::nn {
 
@@ -37,6 +39,16 @@ void Mlp::forward_inference_into(const tensor::Matrix& input,
   if (layers_.empty()) {
     out = input;
     return;
+  }
+  // No-alias contract: the last layer's GEMM reads `input` (single-layer
+  // net) or a scratch buffer while streaming results into `out`; if they
+  // were the same Matrix the kernel would read rows it already clobbered
+  // (and the resize could move the storage mid-read).  Reject it loudly
+  // instead of returning garbage.  InferencePlan::run is alias-immune by
+  // construction and is the right entry point for in-place use.
+  if (&input == &out) {
+    throw std::invalid_argument(
+        "Mlp::forward_inference_into: out must not alias input");
   }
   // Ping-pong between two per-thread scratch buffers; the last layer writes
   // straight into `out`.  thread_local keeps concurrent scoring of a shared
@@ -102,10 +114,26 @@ void Mlp::save(util::BinaryWriter& writer) const {
 Mlp Mlp::load(util::BinaryReader& reader) {
   Mlp mlp;
   mlp.input_dim_ = reader.read_u64();
+  if (mlp.input_dim_ == 0) {
+    throw std::runtime_error("Mlp::load: input_dim is 0; stream is corrupt");
+  }
   const auto count = reader.read_u64();
   mlp.layers_.reserve(count);
+  // Cross-validate the layer chain as it streams in: a corrupted file must
+  // fail here with a dimension message, not later as a confusing GEMM
+  // shape error in the middle of inference.
+  std::size_t expected_in = mlp.input_dim_;
   for (std::uint64_t i = 0; i < count; ++i) {
-    mlp.layers_.push_back(Dense::load(reader));
+    Dense layer = Dense::load(reader);
+    if (layer.in_features() != expected_in) {
+      throw std::runtime_error(
+          "Mlp::load: layer " + std::to_string(i) + " input dim " +
+          std::to_string(layer.in_features()) +
+          " does not chain from previous output dim " +
+          std::to_string(expected_in) + "; stream is corrupt");
+    }
+    expected_in = layer.out_features();
+    mlp.layers_.push_back(std::move(layer));
   }
   return mlp;
 }

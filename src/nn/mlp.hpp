@@ -42,7 +42,9 @@ class Mlp {
   tensor::Matrix forward_inference(const tensor::Matrix& input) const;
 
   /// Same, writing into a caller-owned buffer (capacity-reused, so repeated
-  /// calls are allocation-free after warmup).  `out` must not alias `input`.
+  /// calls are allocation-free after warmup).  `out` must not alias `input`
+  /// (throws std::invalid_argument — the kernels stream into `out` while the
+  /// last layer still reads its input); use InferencePlan for in-place runs.
   void forward_inference_into(const tensor::Matrix& input,
                               tensor::Matrix& out) const;
 

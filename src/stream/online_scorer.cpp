@@ -26,6 +26,12 @@ OnlineScorer::OnlineScorer(core::ModelBundle bundle, EventBus& bus,
   if (config_.window == 0 || config_.hop == 0) {
     throw std::invalid_argument("OnlineScorer: window and hop must be > 0");
   }
+  // Opt-in reduced-precision scoring: rebuild the owned bundle copy's fused
+  // VAE plan before any window is scored.  Only this scorer's copy changes;
+  // the caller's bundle keeps its own (default Full, bit-exact) plan.
+  if (config_.inference_precision) {
+    bundle_.detector.set_inference_precision(*config_.inference_precision);
+  }
   kinds_.reserve(telemetry::metric_count());
   for (const auto& spec : telemetry::metric_catalog()) {
     kinds_.push_back(spec.kind);

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 namespace prodigy::stream {
 
@@ -59,6 +60,11 @@ struct OnlineScorerConfig {
   /// so a sharded deployment exposes per-shard p50/p99 next to the fleet
   /// totals.
   std::string metrics_scope;
+  /// When set, the scorer's owned bundle copy rebuilds its fused VAE
+  /// inference plan at this precision (nn::PlanPrecision::Bf16/Int8 are the
+  /// opt-in reduced-precision modes; unset keeps the bundle's default,
+  /// bit-exact Full plan).  Requires a fitted bundle.
+  std::optional<nn::PlanPrecision> inference_precision;
 };
 
 class OnlineScorer : public RowSink {

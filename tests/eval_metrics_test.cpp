@@ -1,5 +1,8 @@
 #include "eval/metrics.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace prodigy::eval {
@@ -107,6 +110,49 @@ TEST(ThresholdTest, SearchHandlesOverlap) {
 TEST(ThresholdTest, RejectsBadInput) {
   EXPECT_THROW(best_threshold_by_f1({}, {}), std::invalid_argument);
   EXPECT_THROW(best_threshold_by_f1({0.1}, {0, 1}), std::invalid_argument);
+}
+
+// Regression: a NaN score used to wedge the tie-grouping loop forever
+// (NaN == NaN is false, so the sweep index never advanced).  NaN must be
+// treated exactly as predictions_at_threshold treats it — `NaN > t` is false
+// for every t, i.e. permanently predicted healthy — and the search must
+// still find the separating threshold among the finite scores.
+TEST(ThresholdTest, NanScoresTerminateAndCountAsPredictedHealthy) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores{0.1, 0.2, nan, 0.8, 0.9, nan};
+  const std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  const ThresholdSearch best = best_threshold_by_f1(scores, truth);
+  EXPECT_GT(best.best_threshold, 0.2);
+  EXPECT_LT(best.best_threshold, 0.8);
+  // At the best threshold: 2 TP, 3 TN, 1 FN (the anomalous NaN), 0 FP.
+  const auto cm = confusion_matrix(
+      truth, predictions_at_threshold(scores, best.best_threshold));
+  EXPECT_DOUBLE_EQ(best.best_macro_f1, macro_f1(cm));
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.false_positive, 0u);
+}
+
+TEST(ThresholdTest, AllNanScoresYieldAllHealthyPrediction) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores{nan, nan, nan};
+  const std::vector<int> truth{0, 1, 1};
+  const ThresholdSearch best = best_threshold_by_f1(scores, truth);
+  EXPECT_TRUE(std::isinf(best.best_threshold));
+  // All-healthy on {0,1,1}: positive-class F1 = 0; negative class has
+  // precision 1/3 and recall 1, so F1 = 1/2 and macro-F1 = 1/4.
+  EXPECT_DOUBLE_EQ(best.best_macro_f1, 0.25);
+}
+
+// Infinite scores are legal threshold candidates and must not stall the
+// sweep either (Inf == Inf holds, but the midpoint/nextafter arithmetic
+// has to stay finite-safe).
+TEST(ThresholdTest, InfiniteScoresAreSweptNormally) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> scores{0.1, 0.2, inf, inf};
+  const std::vector<int> truth{0, 0, 1, 1};
+  const ThresholdSearch best = best_threshold_by_f1(scores, truth);
+  EXPECT_DOUBLE_EQ(best.best_macro_f1, 1.0);
+  EXPECT_GT(best.best_threshold, 0.2);
 }
 
 }  // namespace

@@ -263,6 +263,72 @@ TEST(MlpTest, SaveLoadRoundTrip) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
 }
 
+TEST(MlpTest, ForwardInferenceIntoRejectsAliasedBuffers) {
+  util::Rng rng(9);
+  const Mlp mlp(3, {{4, Activation::ReLU}, {3, Activation::Linear}}, rng);
+  Matrix x{{0.4, 0.5, 0.6}};
+  // The kernels stream into `out` while the last layer still reads it; an
+  // aliased call would silently corrupt the result, so it must throw.
+  EXPECT_THROW(mlp.forward_inference_into(x, x), std::invalid_argument);
+  // Non-aliased calls are unaffected.
+  Matrix out;
+  mlp.forward_inference_into(x, out);
+  EXPECT_EQ(out.cols(), 3u);
+}
+
+TEST(MlpTest, LoadRejectsBrokenLayerChain) {
+  util::Rng rng(10);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_mlp_corrupt.bin")
+          .string();
+  {
+    // Hand-assemble a stream in Mlp::save's format whose second layer does
+    // not chain: 4 -> 5 followed by 7 -> 3.
+    util::BinaryWriter writer(path);
+    writer.write_u64(4);
+    writer.write_u64(2);
+    Dense(4, 5, Activation::ReLU, rng).save(writer);
+    Dense(7, 3, Activation::Linear, rng).save(writer);
+  }
+  util::BinaryReader reader(path);
+  try {
+    Mlp::load(reader);
+    FAIL() << "Mlp::load accepted a broken layer chain";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("does not chain"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MlpTest, LoadRejectsZeroInputDim) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_mlp_zero.bin").string();
+  {
+    util::BinaryWriter writer(path);
+    writer.write_u64(0);  // input_dim
+    writer.write_u64(0);  // layer count
+  }
+  util::BinaryReader reader(path);
+  EXPECT_THROW(Mlp::load(reader), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(DenseTest, LoadRejectsZeroSizedLayer) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_dense_zero.bin")
+          .string();
+  {
+    util::BinaryWriter writer(path);
+    writer.write_u64(0);  // in
+    writer.write_u64(2);  // out
+    writer.write_string("relu");
+  }
+  util::BinaryReader reader(path);
+  EXPECT_THROW(Dense::load(reader), std::runtime_error);
+  std::remove(path.c_str());
+}
+
 TEST(OptimizerTest, SgdStepDirection) {
   std::vector<double> param{1.0};
   std::vector<double> grad{2.0};

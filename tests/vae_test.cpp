@@ -1,12 +1,15 @@
 #include "core/vae.hpp"
 
+#include "nn/loss.hpp"
 #include "test_helpers.hpp"
 #include "tensor/stats.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 namespace prodigy::core {
 namespace {
@@ -174,6 +177,150 @@ TEST(VaeTest, SaveLoadReconstructsIdentically) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
   EXPECT_EQ(loaded.config().latent_dim, 3u);
+}
+
+// Regression for the ragged-batch epoch-loss bug: forward_backward returns
+// per-batch *means*, so a 33-row epoch with batch_size 16 (batches of 16, 16
+// and 1) must weight each batch by its row count.  The old code averaged the
+// three batch means equally, letting the 1-row tail batch count 16x.  With
+// learning_rate 0 the Adam updates are exact no-ops, so the epoch can be
+// replicated by hand against frozen initial weights.
+TEST(VaeTest, EpochLossIsRowWeightedAcrossRaggedBatches) {
+  const std::size_t rows = 33;
+  const auto data = manifold_data(rows, 9, 12);
+  VariationalAutoencoder vae(small_config(9));
+
+  nn::TrainOptions options;
+  options.epochs = 1;
+  options.batch_size = 16;
+  options.learning_rate = 0.0;
+  options.validation_split = 0.0;
+  options.seed = 13;
+  const auto history = vae.fit(data, options);
+  ASSERT_EQ(history.train_loss.size(), 1u);
+
+  // Replicate fit()'s exact RNG consumption order: permutation (drawn even
+  // when the validation split is empty), batch shuffling, then one gaussian
+  // per latent element per batch — all from the same seed.
+  util::Rng rng(options.seed);
+  const auto perm = rng.permutation(rows);
+  const tensor::Matrix train = data.select_rows({perm.begin(), perm.end()});
+  const auto batches = nn::make_batches(rows, options.batch_size, rng);
+  ASSERT_EQ(batches.size(), 3u);
+
+  double weighted = 0.0;
+  double unweighted = 0.0;
+  std::size_t total_rows = 0;
+  for (const auto& batch : batches) {
+    const tensor::Matrix x = train.select_rows(batch);
+    const tensor::Matrix h = vae.encoder().forward_inference(x);
+    const tensor::Matrix mu = vae.mu_head().forward_inference(h);
+    const tensor::Matrix logvar = vae.logvar_head().forward_inference(h);
+    tensor::Matrix eps(mu.rows(), mu.cols());
+    for (std::size_t i = 0; i < eps.size(); ++i) eps.data()[i] = rng.gaussian();
+    tensor::Matrix z = mu;
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      const double lv = std::clamp(logvar.data()[i], -10.0, 10.0);
+      z.data()[i] += std::exp(0.5 * lv) * eps.data()[i];
+    }
+    const tensor::Matrix recon = vae.decoder().forward_inference(z);
+    const double batch_loss =
+        nn::mse_loss(recon, x).value +
+        vae.config().kl_weight * nn::gaussian_kl(mu, logvar).value;
+    weighted += batch_loss * static_cast<double>(x.rows());
+    unweighted += batch_loss;
+    total_rows += x.rows();
+  }
+  ASSERT_EQ(total_rows, rows);
+  EXPECT_DOUBLE_EQ(history.train_loss[0],
+                   weighted / static_cast<double>(rows));
+  // And the fix is observable: the unweighted mean-of-means differs.
+  EXPECT_NE(history.train_loss[0],
+            unweighted / static_cast<double>(batches.size()));
+}
+
+namespace {
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string serialized_bytes(const auto& component) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_vae_component.bin")
+          .string();
+  {
+    util::BinaryWriter writer(path);
+    component.save(writer);
+  }
+  auto bytes = read_file_bytes(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+}  // namespace
+
+TEST(VaeTest, LoadRejectsMismatchedHeadDimensions) {
+  // Compose a byte-level corrupt model: a valid save with its mu head
+  // replaced by a Dense whose input width does not match the encoder's last
+  // hidden layer.  Every component parses individually, so only the VAE-level
+  // cross-validation can catch it.
+  VariationalAutoencoder vae(small_config(6));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_vae_corrupt.bin")
+          .string();
+  {
+    util::BinaryWriter writer(path);
+    vae.save(writer);
+  }
+  const std::string full = read_file_bytes(path);
+  const std::string enc = serialized_bytes(vae.encoder());
+  const std::string mu = serialized_bytes(vae.mu_head());
+  const std::string lv = serialized_bytes(vae.logvar_head());
+  const std::string dec = serialized_bytes(vae.decoder());
+  ASSERT_GT(full.size(), enc.size() + mu.size() + lv.size() + dec.size());
+  const std::size_t header =
+      full.size() - enc.size() - mu.size() - lv.size() - dec.size();
+
+  util::Rng rng(99);
+  // hidden.back() is 8; a 7-wide head is internally consistent but wrong.
+  const nn::Dense bad_head(7, 3, nn::Activation::Linear, rng);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(header + enc.size()));
+    const std::string bad = serialized_bytes(bad_head);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    const std::size_t rest = header + enc.size() + mu.size();
+    out.write(full.data() + rest,
+              static_cast<std::streamsize>(full.size() - rest));
+  }
+  util::BinaryReader reader(path);
+  try {
+    VariationalAutoencoder::load(reader);
+    FAIL() << "load accepted a mu head that does not chain";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VaeTest, LoadRejectsTruncatedFile) {
+  VariationalAutoencoder vae(small_config(5));
+  const auto path =
+      (std::filesystem::temp_directory_path() / "prodigy_vae_truncated.bin")
+          .string();
+  {
+    util::BinaryWriter writer(path);
+    vae.save(writer);
+  }
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  util::BinaryReader reader(path);
+  EXPECT_THROW(VariationalAutoencoder::load(reader), std::runtime_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

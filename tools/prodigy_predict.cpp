@@ -2,8 +2,12 @@
 //
 //   prodigy_predict --store store.dsos --model model_dir --job 1234
 //                   [--trim 60] [--all] [--jobs N] [--concurrency K]
-//                   [--repeat R] [--cache CAP] [--report] [--metrics-out PATH]
+//                   [--repeat R] [--cache CAP] [--precision full|bf16|int8]
+//                   [--report] [--metrics-out PATH]
 //
+// --precision selects the fused VAE inference plan's weight precision
+// (default full = fp64, bit-exact; bf16/int8 trade a bounded F1 delta for
+// scoring latency — see docs/performance.md).
 // --report prints the markdown dashboard block instead of plain lines.
 // --metrics-out dumps the process metrics registry on exit (JSON when PATH
 // ends in .json, Prometheus text otherwise).
@@ -44,12 +48,16 @@ int main(int argc, char** argv) {
       (!flags.has("job") && !flags.has("all") && !flags.has("jobs"))) {
     tools::usage("usage: prodigy_predict --store FILE --model DIR "
                  "(--job ID | --all | --jobs N) [--trim S] [--concurrency K] "
-                 "[--repeat R] [--cache CAP] [--report] [--metrics-out PATH]\n");
+                 "[--repeat R] [--cache CAP] [--precision full|bf16|int8] "
+                 "[--report] [--metrics-out PATH]\n");
   }
   util::set_log_level(util::LogLevel::Warn);
 
   const auto store = deploy::DsosStore::load(flags.get("store", std::string()));
   auto bundle = core::ModelBundle::load(flags.get("model", std::string()));
+  const auto precision_name = flags.get("precision", std::string("full"));
+  bundle.detector.set_inference_precision(
+      nn::plan_precision_from_string(precision_name));
   pipeline::PreprocessOptions preprocess;
   preprocess.trim_seconds = flags.get("trim", 60.0);
   deploy::AnalyticsService service(store, std::move(bundle), preprocess,
