@@ -4,12 +4,7 @@
 // and the detector factory used across benches.
 #pragma once
 
-#include "baselines/gmm.hpp"
-#include "baselines/heuristics.hpp"
-#include "baselines/isolation_forest.hpp"
-#include "baselines/kmeans.hpp"
-#include "baselines/lof.hpp"
-#include "baselines/pca.hpp"
+#include "adapt/detector_registry.hpp"
 #include "baselines/usad.hpp"
 #include "core/prodigy_detector.hpp"
 #include "eval/crossval.hpp"
@@ -150,39 +145,35 @@ inline baselines::UsadConfig usad_config(const ModelOptions& options) {
   return config;
 }
 
-/// The Figure-5 model roster.  `extended` adds the related-work models the
-/// paper discusses but does not plot (K-means §5.3, Gaussian mixtures §2.1
-/// [Ozer et al.], and a linear PCA-reconstruction ablation).
+/// Maps the bench budget knobs onto the registry's options (one place; the
+/// per-detector configuration itself lives in adapt::DetectorRegistry).
+inline adapt::DetectorOptions detector_options(const ModelOptions& options) {
+  adapt::DetectorOptions detector_opts;
+  detector_opts.epochs = options.epochs;
+  detector_opts.batch_size = options.batch_size;
+  detector_opts.learning_rate = options.learning_rate;
+  detector_opts.usad_epochs = options.usad_epochs;
+  return detector_opts;
+}
+
+/// The Figure-5 model roster, constructed through the DetectorRegistry (the
+/// single source of truth for names and configs).  `extended` adds the
+/// related-work models the paper discusses but does not plot (K-means §5.3,
+/// Gaussian mixtures §2.1 [Ozer et al.], and a linear PCA-reconstruction
+/// ablation).
 inline std::vector<std::pair<std::string, eval::DetectorFactory>> fig5_roster(
     const ModelOptions& options, bool extended = false) {
-  std::vector<std::pair<std::string, eval::DetectorFactory>> extra;
-  if (extended) {
-    extra = {
-        {"K-means", [] { return std::make_unique<baselines::KMeansDetector>(); }},
-        {"Gaussian Mixture",
-         [] { return std::make_unique<baselines::GmmDetector>(); }},
-        {"PCA Reconstruction",
-         [] { return std::make_unique<baselines::PcaDetector>(); }},
-    };
+  const auto& registry = adapt::DetectorRegistry::global();
+  const adapt::DetectorOptions detector_opts = detector_options(options);
+  std::vector<std::string> names = {"prodigy", "usad",           "majority",
+                                    "random",  "isolation-forest", "lof"};
+  if (extended) names.insert(names.end(), {"kmeans", "gmm", "pca"});
+  std::vector<std::pair<std::string, eval::DetectorFactory>> roster;
+  roster.reserve(names.size());
+  for (const auto& name : names) {
+    roster.emplace_back(registry.display_name(name),
+                        registry.factory(name, detector_opts));
   }
-  std::vector<std::pair<std::string, eval::DetectorFactory>> roster = {
-      {"Prodigy",
-       [options] {
-         return std::make_unique<core::ProdigyDetector>(prodigy_config(options));
-       }},
-      {"USAD",
-       [options] { return std::make_unique<baselines::Usad>(usad_config(options)); }},
-      {"Majority Label Prediction",
-       [] { return std::make_unique<baselines::MajorityLabelPrediction>(); }},
-      {"Random Prediction",
-       [] { return std::make_unique<baselines::RandomPrediction>(99); }},
-      {"Isolation Forest",
-       [] { return std::make_unique<baselines::IsolationForest>(); }},
-      {"Local Outlier Factor",
-       [] { return std::make_unique<baselines::LocalOutlierFactor>(); }},
-  };
-  roster.insert(roster.end(), std::make_move_iterator(extra.begin()),
-                std::make_move_iterator(extra.end()));
   return roster;
 }
 

@@ -4,6 +4,9 @@
 // one VAE training epoch, and the baselines' fit costs.
 #include "bench_common.hpp"
 
+#include "baselines/isolation_forest.hpp"
+#include "baselines/lof.hpp"
+
 #include "features/extractors.hpp"
 #include "features/fft.hpp"
 #include "features/registry.hpp"

@@ -1,0 +1,78 @@
+#include "adapt/drift_monitor.hpp"
+
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prodigy::adapt {
+
+DriftMonitor::DriftMonitor(DriftMonitorConfig config,
+                           const std::string& metrics_scope)
+    : config_(config) {
+  if (config_.warmup_observations == 0) {
+    throw std::invalid_argument(
+        "DriftMonitor: warmup_observations must be > 0");
+  }
+  if (config_.lambda <= 0.0) {
+    throw std::invalid_argument("DriftMonitor: lambda must be > 0");
+  }
+  auto& registry = util::MetricsRegistry::global();
+  const std::string prefix =
+      metrics_scope.empty() ? std::string("prodigy_adapt")
+                            : "prodigy_adapt_" + metrics_scope;
+  statistic_gauge_ = &registry.gauge(prefix + "_drift_statistic");
+  drifts_counter_ = &registry.counter(prefix + "_drifts_total");
+}
+
+bool DriftMonitor::observe(double score) {
+  if (!std::isfinite(score)) return false;
+  ++observations_;
+
+  if (!armed_) {
+    warmup_sum_ += score;
+    if (++warmup_count_ >= config_.warmup_observations) {
+      reference_mean_ = std::max(
+          warmup_sum_ / static_cast<double>(warmup_count_), 1e-12);
+      armed_ = true;
+      // The warm-up itself contributes one aggregate observation at the
+      // reference level, so the running mean starts at 1.0 (normalized).
+      running_mean_ = 1.0;
+      post_warmup_ = 1;
+    }
+    return false;
+  }
+
+  const double z = score / reference_mean_;
+  ++post_warmup_;
+  running_mean_ += (z - running_mean_) / static_cast<double>(post_warmup_);
+  cumulative_ += z - running_mean_ - config_.delta;
+  minimum_ = std::min(minimum_, cumulative_);
+  statistic_ = cumulative_ - minimum_;
+  statistic_gauge_->set(statistic_);
+
+  if (statistic_ > config_.lambda) {
+    ++drifts_;
+    drifts_counter_->increment();
+    last_drift_statistic_ = statistic_;
+    reset();
+    return true;
+  }
+  return false;
+}
+
+void DriftMonitor::reset() {
+  armed_ = false;
+  warmup_count_ = 0;
+  warmup_sum_ = 0.0;
+  reference_mean_ = 1.0;
+  post_warmup_ = 0;
+  running_mean_ = 0.0;
+  cumulative_ = 0.0;
+  minimum_ = 0.0;
+  statistic_ = 0.0;
+  statistic_gauge_->set(0.0);
+}
+
+}  // namespace prodigy::adapt

@@ -1,0 +1,85 @@
+// Reconstruction-error drift detection via the Page–Hinkley test: the
+// monitor watches the stream of per-window scores, normalizes each by the
+// reference mean it learned during a warm-up window, and flags when the
+// cumulative positive deviation of the normalized score from its running
+// mean exceeds lambda.  Only upward shifts flag — a model whose errors are
+// *growing* is going stale; shrinking errors never hurt detection.
+//
+// Normalizing by the warm-up mean makes delta/lambda dimensionless (fractions
+// of the healthy-era error level), so one configuration works across models
+// whose raw error magnitudes differ by orders of magnitude.
+//
+// Not internally locked: the owner (AdaptiveModelManager) serializes
+// observe()/reset() under its own state mutex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prodigy::util {
+class Counter;
+class Gauge;
+}  // namespace prodigy::util
+
+namespace prodigy::adapt {
+
+struct DriftMonitorConfig {
+  /// Scores accumulated before the test arms; they define the reference
+  /// (healthy-era) mean the later stream is normalized by.
+  std::size_t warmup_observations = 64;
+  /// Page–Hinkley magnitude tolerance, in fractions of the reference mean:
+  /// mean shifts smaller than this never accumulate.
+  double delta = 0.02;
+  /// Detection threshold on the cumulative statistic, in the same
+  /// (dimensionless) units.  Smaller = more sensitive.
+  double lambda = 8.0;
+};
+
+class DriftMonitor {
+ public:
+  /// `metrics_scope` non-empty (e.g. "shard3") scopes the exported metric
+  /// names (prodigy_adapt_<scope>_drift_statistic, ..._drifts_total).
+  explicit DriftMonitor(DriftMonitorConfig config = {},
+                        const std::string& metrics_scope = "");
+
+  /// Feeds one score; returns true when drift is flagged.  A flag resets
+  /// the test (warm-up restarts), so consecutive detections are genuinely
+  /// independent episodes.  Non-finite scores are ignored.
+  bool observe(double score);
+
+  /// Back to cold warm-up (call after a model swap: the new model defines a
+  /// new reference error level).  Lifetime counters persist.
+  void reset();
+
+  /// Current Page–Hinkley statistic (0 while warming up).
+  double statistic() const noexcept { return statistic_; }
+  /// The statistic at the moment of the most recent detection (observe()
+  /// resets the live statistic when it flags).
+  double last_drift_statistic() const noexcept { return last_drift_statistic_; }
+  bool armed() const noexcept { return armed_; }
+  std::uint64_t observations() const noexcept { return observations_; }
+  std::uint64_t drifts_detected() const noexcept { return drifts_; }
+
+ private:
+  DriftMonitorConfig config_;
+
+  // Warm-up accumulation, then the PH state over normalized scores.
+  bool armed_ = false;
+  std::size_t warmup_count_ = 0;
+  double warmup_sum_ = 0.0;
+  double reference_mean_ = 1.0;  // normalization scale (>= tiny epsilon)
+  std::uint64_t post_warmup_ = 0;
+  double running_mean_ = 0.0;  // of normalized scores since arming
+  double cumulative_ = 0.0;    // m_t = sum(z_i - mean_i - delta)
+  double minimum_ = 0.0;       // min over t of m_t
+  double statistic_ = 0.0;     // m_t - minimum_
+
+  double last_drift_statistic_ = 0.0;
+  std::uint64_t observations_ = 0;
+  std::uint64_t drifts_ = 0;
+
+  util::Gauge* statistic_gauge_ = nullptr;    // registry-owned
+  util::Counter* drifts_counter_ = nullptr;   // registry-owned
+};
+
+}  // namespace prodigy::adapt

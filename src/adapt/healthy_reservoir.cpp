@@ -1,0 +1,100 @@
+#include "adapt/healthy_reservoir.hpp"
+
+#include <stdexcept>
+
+namespace prodigy::adapt {
+
+HealthyReservoir::HealthyReservoir(HealthyReservoirConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("HealthyReservoir: capacity must be > 0");
+  }
+  if (config_.holdout_stride == 1) {
+    // Stride 1 would route EVERY row to the holdout and none to the refit
+    // pool; that is never what a caller wants.
+    throw std::invalid_argument(
+        "HealthyReservoir: holdout_stride must be 0 (disabled) or >= 2");
+  }
+  train_.slots.reserve(config_.capacity);
+  holdout_.slots.reserve(config_.holdout_capacity);
+}
+
+void HealthyReservoir::admit(Slice& slice, std::size_t capacity,
+                             std::span<const double> features) {
+  ++slice.seen;
+  if (slice.slots.size() < capacity) {
+    slice.slots.emplace_back(features.begin(), features.end());
+    return;
+  }
+  // Algorithm R: row #seen replaces a uniform slot with probability
+  // capacity/seen, keeping every slot a uniform draw from the stream.
+  const std::uint64_t j = rng_.uniform_index(slice.seen);
+  if (j < capacity) {
+    slice.slots[static_cast<std::size_t>(j)].assign(features.begin(),
+                                                    features.end());
+  }
+}
+
+void HealthyReservoir::offer(std::span<const double> features) {
+  if (features.empty()) return;
+  std::lock_guard lock(mutex_);
+  ++offered_;
+  if (width_ == 0) width_ = features.size();
+  if (features.size() != width_) {
+    ++mismatched_;
+    return;
+  }
+  const bool to_holdout =
+      config_.holdout_stride != 0 && config_.holdout_capacity != 0 &&
+      (offered_ - mismatched_) % config_.holdout_stride == 0;
+  if (to_holdout) {
+    admit(holdout_, config_.holdout_capacity, features);
+  } else {
+    admit(train_, config_.capacity, features);
+  }
+}
+
+HealthyReservoir::Snapshot HealthyReservoir::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.offered = offered_;
+  snap.train = tensor::Matrix(train_.slots.size(), width_);
+  for (std::size_t r = 0; r < train_.slots.size(); ++r) {
+    snap.train.set_row(r, train_.slots[r]);
+  }
+  snap.holdout = tensor::Matrix(holdout_.slots.size(), width_);
+  for (std::size_t r = 0; r < holdout_.slots.size(); ++r) {
+    snap.holdout.set_row(r, holdout_.slots[r]);
+  }
+  return snap;
+}
+
+std::size_t HealthyReservoir::size() const {
+  std::lock_guard lock(mutex_);
+  return train_.slots.size();
+}
+
+std::size_t HealthyReservoir::holdout_size() const {
+  std::lock_guard lock(mutex_);
+  return holdout_.slots.size();
+}
+
+std::uint64_t HealthyReservoir::offered() const {
+  std::lock_guard lock(mutex_);
+  return offered_;
+}
+
+std::uint64_t HealthyReservoir::mismatched() const {
+  std::lock_guard lock(mutex_);
+  return mismatched_;
+}
+
+void HealthyReservoir::clear() {
+  std::lock_guard lock(mutex_);
+  train_.slots.clear();
+  train_.seen = 0;
+  holdout_.slots.clear();
+  holdout_.seen = 0;
+}
+
+}  // namespace prodigy::adapt

@@ -1,0 +1,82 @@
+// Bounded-memory healthy-sample reservoir for online refits: verdict-gated
+// feature rows (model-input space, post column-selection + scaling) stream
+// in, and two independent Algorithm-R reservoirs — a refit pool and a
+// held-out validation slice — keep a uniform sample of everything ever
+// offered.  Routing between the two is by arrival ordinal (every
+// holdout_stride-th admitted row validates, the rest train), so a candidate
+// model is never validated on rows it trained on.
+//
+// Determinism: for a fixed offer order and seed, the reservoir contents —
+// and therefore every refit trained from them — are bit-identical across
+// runs.  All methods are thread-safe (internally locked); the scorer's
+// per-node feedback calls may arrive from many pool threads.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace prodigy::adapt {
+
+struct HealthyReservoirConfig {
+  /// Refit-pool slots (rows the next refit trains on).
+  std::size_t capacity = 512;
+  /// Held-out slots (rows candidate validation scores); sized independently
+  /// so a small holdout never starves the refit pool.
+  std::size_t holdout_capacity = 128;
+  /// Every holdout_stride-th offered row routes to the holdout reservoir;
+  /// 0 disables the holdout entirely (snapshot().holdout stays empty).
+  std::size_t holdout_stride = 4;
+  std::uint64_t seed = 17;
+};
+
+class HealthyReservoir {
+ public:
+  explicit HealthyReservoir(HealthyReservoirConfig config = {});
+
+  /// Offers one healthy feature row.  The first offer fixes the row width;
+  /// rows of any other width are rejected (counted, not stored).
+  void offer(std::span<const double> features);
+
+  /// A consistent copy of both slices, rows in slot order.
+  struct Snapshot {
+    tensor::Matrix train;    // (filled train slots x width)
+    tensor::Matrix holdout;  // (filled holdout slots x width)
+    std::uint64_t offered = 0;
+  };
+  Snapshot snapshot() const;
+
+  std::size_t size() const;          // filled refit-pool slots
+  std::size_t holdout_size() const;  // filled holdout slots
+  std::uint64_t offered() const;     // rows ever offered (incl. mismatched)
+  std::uint64_t mismatched() const;  // rows rejected for width mismatch
+
+  /// Drops every held row (width stays pinned); offered/mismatched persist.
+  void clear();
+
+ private:
+  // One Algorithm-R reservoir: uniform over its `seen` stream.
+  struct Slice {
+    std::vector<std::vector<double>> slots;
+    std::uint64_t seen = 0;
+  };
+
+  void admit(Slice& slice, std::size_t capacity,
+             std::span<const double> features);
+
+  HealthyReservoirConfig config_;
+
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  Slice train_;
+  Slice holdout_;
+  std::size_t width_ = 0;  // fixed by the first offered row
+  std::uint64_t offered_ = 0;
+  std::uint64_t mismatched_ = 0;
+};
+
+}  // namespace prodigy::adapt

@@ -1,0 +1,282 @@
+#include "adapt/model_manager.hpp"
+
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace prodigy::adapt {
+
+AdaptiveModelManager::AdaptiveModelManager(core::ModelBundle initial,
+                                           AdaptationConfig config,
+                                           stream::EventBus* bus,
+                                           std::string scope)
+    : config_(config), bus_(bus), scope_(std::move(scope)),
+      monitor_(config.drift, scope_), reservoir_(config.reservoir) {
+  if (!initial.detector.fitted()) {
+    throw std::invalid_argument(
+        "AdaptiveModelManager: initial bundle must be fitted");
+  }
+  active_.bundle = std::make_shared<const core::ModelBundle>(std::move(initial));
+  active_.number = 1;
+
+  auto& registry = util::MetricsRegistry::global();
+  const std::string prefix = scope_.empty()
+                                 ? std::string("prodigy_adapt")
+                                 : "prodigy_adapt_" + scope_;
+  generation_gauge_ = &registry.gauge(prefix + "_model_generation");
+  refits_counter_ = &registry.counter(prefix + "_refits_total");
+  swaps_counter_ = &registry.counter(prefix + "_swaps_total");
+  refusals_counter_ = &registry.counter(prefix + "_swap_refusals_total");
+  refit_seconds_ = &registry.histogram(prefix + "_refit_seconds");
+  generation_gauge_->set(1.0);
+
+  if (!config_.synchronous) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+AdaptiveModelManager::~AdaptiveModelManager() { stop(); }
+
+void AdaptiveModelManager::stop() {
+  {
+    std::lock_guard lock(worker_mutex_);
+    worker_exit_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+AdaptiveModelManager::Lease AdaptiveModelManager::acquire() const {
+  std::lock_guard lock(slot_mutex_);
+  return {active_.bundle, active_.number};
+}
+
+std::uint64_t AdaptiveModelManager::generation() const {
+  std::lock_guard lock(slot_mutex_);
+  return active_.number;
+}
+
+void AdaptiveModelManager::publish(stream::DriftEvent::Kind kind,
+                                   std::uint64_t generation, double statistic,
+                                   double threshold) {
+  if (bus_ == nullptr) return;
+  stream::DriftEvent event;
+  event.kind = kind;
+  event.scope = scope_;
+  event.generation = generation;
+  event.statistic = statistic;
+  event.threshold = threshold;
+  event.reservoir_samples = reservoir_.size();
+  bus_->publish(event);
+}
+
+void AdaptiveModelManager::on_verdict(const stream::VerdictEvent& event,
+                                      std::span<const double> model_input) {
+  // Verdict-gated reservoir: only windows the active model judged healthy
+  // may become refit material (Borghesi-style self-supervision; a window
+  // scored above threshold would poison the "healthy" pool).
+  if (!event.anomalous) reservoir_.offer(model_input);
+
+  bool flagged = false;
+  double statistic = 0.0;
+  bool trigger = false;
+  {
+    std::lock_guard lock(state_mutex_);
+    flagged = monitor_.observe(event.score);
+    if (flagged) {
+      statistic = monitor_.last_drift_statistic();
+      if (!refit_pending_ && reservoir_.size() >= config_.min_refit_samples) {
+        refit_pending_ = true;
+        trigger = true;
+      }
+    }
+  }
+  if (!flagged) return;
+
+  {
+    std::lock_guard lock(counter_mutex_);
+    ++drifts_;
+  }
+  const Lease lease = acquire();
+  publish(stream::DriftEvent::Kind::DriftDetected, lease.generation, statistic,
+          lease.bundle->detector.threshold());
+  if (!trigger) {
+    util::log_info("AdaptiveModelManager", scope_.empty() ? "" : "(" + scope_ + ")",
+                   ": drift flagged (statistic ", statistic,
+                   ") but no refit scheduled (pending or reservoir below ",
+                   config_.min_refit_samples, ")");
+    return;
+  }
+  if (config_.synchronous) {
+    run_refit_cycle();
+  } else {
+    {
+      std::lock_guard lock(worker_mutex_);
+      worker_wake_ = true;
+    }
+    worker_cv_.notify_one();
+  }
+}
+
+void AdaptiveModelManager::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(worker_mutex_);
+      worker_cv_.wait(lock, [&] { return worker_wake_ || worker_exit_; });
+      if (worker_exit_) return;
+      worker_wake_ = false;
+    }
+    run_refit_cycle();
+  }
+}
+
+AdaptiveModelManager::RefitOutcome AdaptiveModelManager::refit_now() {
+  return run_refit_cycle();
+}
+
+AdaptiveModelManager::RefitOutcome AdaptiveModelManager::run_refit_cycle() {
+  util::Timer timer;
+  RefitOutcome outcome = RefitOutcome::InsufficientSamples;
+  const HealthyReservoir::Snapshot snap = reservoir_.snapshot();
+  if (snap.train.rows() >= config_.min_refit_samples &&
+      snap.holdout.rows() >= config_.min_holdout_samples) {
+    {
+      std::lock_guard lock(counter_mutex_);
+      ++refits_;
+    }
+    refits_counter_->increment();
+    const Lease incumbent = acquire();
+
+    // Continual-learning refit: incumbent architecture, reduced epoch
+    // budget, no validation split (the reservoir holdout IS the validation).
+    core::ProdigyConfig refit_config = incumbent.bundle->detector.config();
+    refit_config.train.epochs = config_.refit_epochs;
+    refit_config.train.validation_split = 0.0;
+    refit_config.train.early_stopping_patience = 0;
+    core::ProdigyDetector candidate(refit_config);
+
+    try {
+      candidate.fit_healthy(snap.train);
+
+      // Refuse-to-swap validation on the held-out slice (see file comment).
+      const auto candidate_scores = candidate.score(snap.holdout);
+      const auto incumbent_scores = incumbent.bundle->detector.score(snap.holdout);
+      double candidate_sum = 0.0, incumbent_sum = 0.0;
+      std::size_t false_alarms = 0;
+      bool finite = true;
+      for (std::size_t i = 0; i < candidate_scores.size(); ++i) {
+        finite = finite && std::isfinite(candidate_scores[i]);
+        candidate_sum += candidate_scores[i];
+        incumbent_sum += incumbent_scores[i];
+        if (candidate_scores[i] > candidate.threshold()) ++false_alarms;
+      }
+      const auto n = static_cast<double>(candidate_scores.size());
+      const double candidate_mean = candidate_sum / n;
+      const double incumbent_mean = incumbent_sum / n;
+      const double false_alarm_rate = static_cast<double>(false_alarms) / n;
+
+      const bool accept =
+          finite &&
+          candidate_mean <= config_.validation_margin * incumbent_mean &&
+          false_alarm_rate <= config_.max_false_alarm_rate;
+      if (accept) {
+        core::ModelBundle next;
+        next.detector = std::move(candidate);
+        next.scaler = incumbent.bundle->scaler;
+        next.metadata = incumbent.bundle->metadata;
+        const std::uint64_t generation = swap_model(std::move(next));
+        util::log_info("AdaptiveModelManager",
+                       scope_.empty() ? "" : "(" + scope_ + ")",
+                       ": refit on ", snap.train.rows(),
+                       " reservoir rows promoted to generation ", generation,
+                       " (holdout mean ", candidate_mean, " vs ",
+                       incumbent_mean, ", false-alarm rate ", false_alarm_rate,
+                       ")");
+        outcome = RefitOutcome::Swapped;
+      } else {
+        {
+          std::lock_guard lock(counter_mutex_);
+          ++refusals_;
+        }
+        refusals_counter_->increment();
+        publish(stream::DriftEvent::Kind::SwapRefused, incumbent.generation,
+                0.0, candidate.threshold());
+        util::log_warn("AdaptiveModelManager",
+                       scope_.empty() ? "" : "(" + scope_ + ")",
+                       ": candidate refused (holdout mean ", candidate_mean,
+                       " vs incumbent ", incumbent_mean, ", false-alarm rate ",
+                       false_alarm_rate, finite ? "" : ", non-finite scores",
+                       "); incumbent generation ", incumbent.generation,
+                       " keeps serving");
+        outcome = RefitOutcome::RefusedValidation;
+      }
+    } catch (const std::exception& e) {
+      // A failed refit (e.g. degenerate reservoir) must never take down the
+      // scoring path; the incumbent keeps serving.
+      {
+        std::lock_guard lock(counter_mutex_);
+        ++refusals_;
+      }
+      refusals_counter_->increment();
+      publish(stream::DriftEvent::Kind::SwapRefused, incumbent.generation, 0.0,
+              incumbent.bundle->detector.threshold());
+      util::log_warn("AdaptiveModelManager: refit failed: ", e.what());
+      outcome = RefitOutcome::RefusedValidation;
+    }
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    refit_pending_ = false;
+  }
+  refit_seconds_->observe(timer.elapsed_seconds());
+  return outcome;
+}
+
+std::uint64_t AdaptiveModelManager::swap_model(core::ModelBundle next) {
+  if (!next.detector.fitted()) {
+    throw std::invalid_argument("swap_model: bundle must be fitted");
+  }
+  const double threshold = next.detector.threshold();
+  auto bundle = std::make_shared<const core::ModelBundle>(std::move(next));
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard lock(slot_mutex_);
+    active_.bundle = std::move(bundle);
+    generation = ++active_.number;
+  }
+  {
+    // The new model defines a new reference error level; the drift test must
+    // re-learn it rather than flag the swap itself as drift.
+    std::lock_guard lock(state_mutex_);
+    monitor_.reset();
+  }
+  {
+    std::lock_guard lock(counter_mutex_);
+    ++swaps_;
+  }
+  swaps_counter_->increment();
+  generation_gauge_->set(static_cast<double>(generation));
+  publish(stream::DriftEvent::Kind::ModelSwapped, generation, 0.0, threshold);
+  return generation;
+}
+
+stream::AdaptationStats AdaptiveModelManager::adaptation_stats() const {
+  stream::AdaptationStats stats;
+  stats.generation = generation();
+  {
+    std::lock_guard lock(counter_mutex_);
+    stats.drifts_detected = drifts_;
+    stats.refits_started = refits_;
+    stats.swaps_completed = swaps_;
+    stats.swaps_refused = refusals_;
+  }
+  stats.reservoir_samples = reservoir_.size();
+  stats.reservoir_offered = reservoir_.offered();
+  return stats;
+}
+
+}  // namespace prodigy::adapt

@@ -1,0 +1,158 @@
+// Closes the loop from scoring back to training (ROADMAP "online continual
+// learning", after Borghesi et al., arXiv:1902.08447): an
+// AdaptiveModelManager is the stream::ModelProvider behind an OnlineScorer.
+// Every published verdict feeds (a) the DriftMonitor with its score and
+// (b) the HealthyReservoir with its model-input feature row when the window
+// was judged healthy.  When drift is flagged, a refit cycle — on a
+// background worker thread, or inline when `synchronous` — retrains the VAE
+// on the reservoir's refit pool with the incumbent's architecture, validates
+// the candidate on the held-out reservoir slice, and either hot-swaps it in
+// (generation bump, atomic pointer swap, drift-monitor reset) or refuses it.
+//
+// Validation gate (the live stream carries no labels, so the tuned-F1
+// comparison of bench/inference_latency --f1-delta is rephrased on the
+// error profile the F1 sweep derives from):
+//   1. candidate mean holdout error <= validation_margin x incumbent's, and
+//   2. candidate false-alarm rate on the held-out HEALTHY windows
+//      <= max_false_alarm_rate  (1 - the paper's healthy-percentile
+//      threshold contract, with slack),
+//   and every candidate holdout score finite.
+// A refused candidate leaves the incumbent serving and publishes a
+// SwapRefused drift event; ground-truth F1 comparison lives in
+// bench/drift_adaptation.cpp where labels exist.
+//
+// The scaler and deployment metadata are frozen across refits: the reservoir
+// stores rows in model-input space, so only the VAE + threshold retrain.
+#pragma once
+
+#include "adapt/drift_monitor.hpp"
+#include "adapt/healthy_reservoir.hpp"
+#include "stream/model_provider.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace prodigy::util {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace prodigy::util
+
+namespace prodigy::adapt {
+
+struct AdaptationConfig {
+  HealthyReservoirConfig reservoir;
+  DriftMonitorConfig drift;
+  /// Refit-pool rows required before a flagged drift triggers a refit (a
+  /// drift with a starved reservoir is recorded but not acted on).
+  std::size_t min_refit_samples = 64;
+  /// Holdout rows required to validate a candidate (refuse otherwise: an
+  /// unvalidatable candidate must never replace a serving model).
+  std::size_t min_holdout_samples = 8;
+  /// Epochs per refit (continual-learning budget, much smaller than the
+  /// offline fit; the incumbent's architecture is reused as-is).
+  std::size_t refit_epochs = 60;
+  /// Gate 1 margin: candidate mean holdout error may exceed the incumbent's
+  /// by at most this factor.
+  double validation_margin = 1.0;
+  /// Gate 2 bound: fraction of held-out healthy windows the candidate may
+  /// flag anomalous.
+  double max_false_alarm_rate = 0.10;
+  /// Run refit cycles inline inside on_verdict instead of on the worker
+  /// thread: deterministic swap points for tests and paced replays.
+  bool synchronous = false;
+};
+
+class AdaptiveModelManager final : public stream::ModelProvider {
+ public:
+  /// `bus` (optional) receives DriftEvents and must outlive the manager;
+  /// `scope` tags those events and the exported metrics ("" or "shard<k>").
+  explicit AdaptiveModelManager(core::ModelBundle initial,
+                                AdaptationConfig config = {},
+                                stream::EventBus* bus = nullptr,
+                                std::string scope = "");
+  ~AdaptiveModelManager() override;
+
+  AdaptiveModelManager(const AdaptiveModelManager&) = delete;
+  AdaptiveModelManager& operator=(const AdaptiveModelManager&) = delete;
+
+  // stream::ModelProvider ----------------------------------------------
+  Lease acquire() const override;
+  void on_verdict(const stream::VerdictEvent& event,
+                  std::span<const double> model_input) override;
+  stream::AdaptationStats adaptation_stats() const override;
+
+  // Direct control (tools, tests) --------------------------------------
+  enum class RefitOutcome : std::uint8_t {
+    Swapped,
+    RefusedValidation,
+    InsufficientSamples,
+  };
+  /// Runs one refit cycle on the calling thread, regardless of drift state.
+  RefitOutcome refit_now();
+  /// Forces `next` in as the new generation (no validation); returns the new
+  /// generation.  The swap is atomic with respect to acquire().
+  std::uint64_t swap_model(core::ModelBundle next);
+
+  std::uint64_t generation() const;
+  const HealthyReservoir& reservoir() const noexcept { return reservoir_; }
+
+  /// Joins the worker thread (idempotent; the destructor calls it).  Call
+  /// only after the scorer feeding this manager has drained.
+  void stop();
+
+ private:
+  struct Generation {
+    std::shared_ptr<const core::ModelBundle> bundle;
+    std::uint64_t number = 1;
+  };
+
+  void worker_loop();
+  RefitOutcome run_refit_cycle();
+  void publish(stream::DriftEvent::Kind kind, std::uint64_t generation,
+               double statistic, double threshold);
+
+  AdaptationConfig config_;
+  stream::EventBus* bus_;
+  std::string scope_;
+
+  // Active model slot.  A plain mutex around a shared_ptr copy: the
+  // per-window cost is one lock + refcount bump, dwarfed by scoring itself,
+  // and unlike std::atomic<shared_ptr> it is portable and TSAN-precise.
+  mutable std::mutex slot_mutex_;
+  Generation active_;
+
+  // Feedback state (drift test + refit trigger).  The reservoir locks
+  // itself; the monitor and trigger flags are guarded here.
+  mutable std::mutex state_mutex_;
+  DriftMonitor monitor_;
+  bool refit_pending_ = false;
+
+  HealthyReservoir reservoir_;
+
+  mutable std::mutex counter_mutex_;
+  std::uint64_t drifts_ = 0;
+  std::uint64_t refits_ = 0;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t refusals_ = 0;
+
+  // Worker thread: parked until a drift flags refit_pending_.
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  bool worker_wake_ = false;
+  bool worker_exit_ = false;
+  std::thread worker_;
+
+  // Registry-owned, resolved once.
+  util::Gauge* generation_gauge_ = nullptr;
+  util::Counter* refits_counter_ = nullptr;
+  util::Counter* swaps_counter_ = nullptr;
+  util::Counter* refusals_counter_ = nullptr;
+  util::Histogram* refit_seconds_ = nullptr;
+};
+
+}  // namespace prodigy::adapt

@@ -23,8 +23,10 @@ AnalyticsService::AnalyticsService(const DsosStore& store, core::ModelBundle bun
                                    pipeline::PreprocessOptions preprocess,
                                    bool explain, comte::ComteConfig explanations,
                                    std::size_t cache_capacity)
-    : store_(store), bundle_(std::move(bundle)), preprocess_(preprocess),
-      explain_(explain), bundle_id_(next_bundle_id()),
+    : store_(store), bundle_mutex_(std::make_unique<std::mutex>()),
+      state_(std::make_shared<const BundleState>(
+          BundleState{std::move(bundle), next_bundle_id()})),
+      preprocess_(preprocess), explain_(explain),
       cache_(std::make_unique<AnalysisCache>(
           cache_capacity,
           &util::MetricsRegistry::global().counter("prodigy_deploy_cache_hits_total"),
@@ -34,16 +36,36 @@ AnalyticsService::AnalyticsService(const DsosStore& store, core::ModelBundle bun
               "prodigy_deploy_cache_evictions_total"))),
       explanations_(explanations) {}
 
+std::shared_ptr<const AnalyticsService::BundleState>
+AnalyticsService::bundle_state() const {
+  std::lock_guard lock(*bundle_mutex_);
+  return state_;
+}
+
+std::uint64_t AnalyticsService::bundle_id() const { return bundle_state()->id; }
+
+void AnalyticsService::set_bundle(core::ModelBundle next) {
+  auto state = std::make_shared<const BundleState>(
+      BundleState{std::move(next), next_bundle_id()});
+  std::lock_guard lock(*bundle_mutex_);
+  state_ = std::move(state);
+  // The explainer context was built in the OLD bundle's model-input space;
+  // reusing it against the new model would explain with mismatched
+  // dimensions.  Queries fall back to score-only verdicts after a swap.
+  explain_ = false;
+}
+
 void AnalyticsService::build_explainer_context(
     const features::FeatureDataset& train_data) {
-  explain_train_ = bundle_.transform_full(train_data.X);
+  const auto state = bundle_state();
+  explain_train_ = state->bundle.transform_full(train_data.X);
   explain_labels_ = train_data.labels;
   std::vector<std::size_t> healthy;
   for (std::size_t i = 0; i < explain_labels_.size(); ++i) {
     if (explain_labels_[i] == 0) healthy.push_back(i);
   }
   const auto healthy_scores =
-      bundle_.detector.score(explain_train_.select_rows(healthy));
+      state->bundle.detector.score(explain_train_.select_rows(healthy));
   probability_scale_ = comte::ThresholdModelAdapter::estimate_scale(healthy_scores);
 }
 
@@ -52,11 +74,25 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
   auto& registry = util::MetricsRegistry::global();
   registry.counter("prodigy_deploy_requests_total").increment();
 
+  // Load the served model exactly once for the whole request: scoring,
+  // thresholds, explanations, and the cache key below all come from this
+  // state even if set_bundle() swaps concurrently (the shared_ptr keeps the
+  // old bundle alive until the request finishes).
+  std::shared_ptr<const BundleState> state;
+  bool explain = false;
+  {
+    std::lock_guard lock(*bundle_mutex_);
+    state = state_;
+    explain = explain_;
+  }
+  const core::ModelBundle& bundle = state->bundle;
+  const std::uint64_t bundle_id = state->id;
+
   // Fast path: a finished analysis for this exact (job, generation, bundle)
   // triple.  The generation probe takes only a shared DSOS lock; if a writer
   // re-ingests between the probe and the lookup we merely miss and recompute.
   if (auto cached =
-          cache_->get({job_id, store_.job_generation(job_id), bundle_id_})) {
+          cache_->get({job_id, store_.job_generation(job_id), bundle_id})) {
     JobAnalysis analysis = **cached;
     analysis.from_cache = true;
     analysis.seconds = timer.elapsed_seconds();
@@ -89,9 +125,9 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
   // AnomalyDetector: column selection + scaler + model (batched, serial
   // w.r.t. nodes so scores match the single-threaded reference exactly).
   util::StageTimer score_timer("deploy.request.score", &score_s);
-  const tensor::Matrix model_input = bundle_.transform_full(dataset.X);
-  const auto scores = bundle_.detector.score(model_input);
-  const double threshold = bundle_.detector.threshold();
+  const tensor::Matrix model_input = bundle.transform_full(dataset.X);
+  const auto scores = bundle.detector.score(model_input);
+  const double threshold = bundle.detector.threshold();
   score_timer.stop();
 
   // Verdict assembly, including CoMTE explanations for anomalous nodes.
@@ -101,10 +137,10 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
   util::StageTimer verdicts_timer("deploy.request.verdicts", &verdicts_s);
   std::optional<comte::ThresholdModelAdapter> adapter;
   std::optional<comte::ComteExplainer> explainer;
-  if (explain_ && explain_train_.rows() > 0) {
-    adapter.emplace(bundle_.detector, threshold, probability_scale_);
+  if (explain && explain_train_.rows() > 0) {
+    adapter.emplace(bundle.detector, threshold, probability_scale_);
     explainer.emplace(*adapter, explain_train_, explain_labels_,
-                      bundle_.metadata.feature_names, explanations_);
+                      bundle.metadata.feature_names, explanations_);
   }
 
   const std::size_t node_count = dataset.size();
@@ -141,7 +177,7 @@ JobAnalysis AnalyticsService::analyze_job(std::int64_t job_id) const {
                      {"score", score_s},
                      {"verdicts", verdicts_s}};
   analysis.seconds = timer.elapsed_seconds();
-  cache_->put({job_id, generation, bundle_id_},
+  cache_->put({job_id, generation, bundle_id},
               std::make_shared<const JobAnalysis>(analysis));
   return analysis;
 }

@@ -13,6 +13,7 @@
 #include "util/thread_pool.hpp"
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <tuple>
 
@@ -94,14 +95,26 @@ class AnalyticsService {
 
   /// Process-unique stamp of the model bundle this service serves; part of
   /// the result-cache key so verdicts from different bundles never mix.
-  std::uint64_t bundle_id() const noexcept { return bundle_id_; }
+  std::uint64_t bundle_id() const;
+
+  /// Hot-swaps the served model (the online-adaptation path: a refit
+  /// promoted by adapt::AdaptiveModelManager must also serve queries).
+  /// Thread-safe against concurrent analyze_job calls: each request reads
+  /// the (bundle, id) pair exactly once, and the fresh process-unique id
+  /// guarantees no cache entry computed by any earlier bundle is ever
+  /// served afterwards.  The explainer context keeps the training-time
+  /// bundle's feature space, so swapping disables explanations.
+  void set_bundle(core::ModelBundle next);
 
   /// Node-level analysis (paper: "job- and node-level analysis"): the
   /// verdict for one compute node of a job.  Throws std::out_of_range if the
   /// component is not part of the job.
   NodeVerdict analyze_node(std::int64_t job_id, std::int64_t component_id) const;
 
-  const core::ModelBundle& bundle() const noexcept { return bundle_; }
+  /// The currently served bundle.  The reference stays valid while the
+  /// returned state is the active one; callers that may race set_bundle()
+  /// should prefer bundle_state().
+  const core::ModelBundle& bundle() const { return bundle_state()->bundle; }
 
   /// Offline training flow (Fig. 3): builds the feature dataset from the
   /// given stored jobs, selects efficient features (chi-square when both
@@ -120,14 +133,27 @@ class AnalyticsService {
   using AnalysisCache =
       util::LruCache<CacheKey, std::shared_ptr<const JobAnalysis>>;
 
+  // The served model and its cache stamp travel together as one immutable
+  // state: analyze_job loads the pointer once per request, so a concurrent
+  // set_bundle can never pair a new bundle with an old id (or serve a torn
+  // half-swapped model).  Old states stay alive until their last in-flight
+  // request drops them.
+  struct BundleState {
+    core::ModelBundle bundle;
+    std::uint64_t id = 0;
+  };
+
   void build_explainer_context(const features::FeatureDataset& train_data);
+  std::shared_ptr<const BundleState> bundle_state() const;
 
   const DsosStore& store_;
-  core::ModelBundle bundle_;
+  // unique_ptr members keep the service movable (mutexes are not), which
+  // train_from_store returning by value requires.
+  mutable std::unique_ptr<std::mutex> bundle_mutex_;
+  std::shared_ptr<const BundleState> state_;
   pipeline::PreprocessOptions preprocess_;
   bool explain_;
   util::ThreadPool* pool_ = nullptr;  // nullptr -> util::ThreadPool::global()
-  std::uint64_t bundle_id_ = 0;
   // unique_ptr (not a direct member) so the service stays movable: the cache
   // owns a mutex, and train_from_store returns the service by value.
   mutable std::unique_ptr<AnalysisCache> cache_;

@@ -1,0 +1,68 @@
+// The seam between online scoring and online adaptation.  An OnlineScorer
+// normally owns one frozen ModelBundle; plugging a ModelProvider into
+// OnlineScorerConfig turns the bundle into a leased, generation-tagged
+// resource: the scorer acquires one lease per window (so a single window can
+// never observe a torn model across a hot-swap) and feeds every published
+// verdict — together with the model-input feature row it was scored from —
+// back to the provider, which is how the adapt subsystem sees the live
+// stream without the scorer depending on it.
+//
+// Generation 0 is reserved for "no provider" (the frozen, scorer-owned
+// bundle); providers hand out generations >= 1 and must bump the generation
+// on every swap so downstream consumers (EventBus debouncing, the analytics
+// result cache) can tell pre- and post-swap results apart.
+#pragma once
+
+#include "core/model_trainer.hpp"
+#include "stream/event_bus.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+namespace prodigy::stream {
+
+/// Rolled-up adaptation counters of one provider (or, summed, of a fleet).
+struct AdaptationStats {
+  std::uint64_t generation = 0;        // active model generation (>= 1)
+  std::uint64_t drifts_detected = 0;   // drift monitor flags
+  std::uint64_t refits_started = 0;    // background refit cycles begun
+  std::uint64_t swaps_completed = 0;   // candidates promoted
+  std::uint64_t swaps_refused = 0;     // candidates rejected by validation
+  std::uint64_t reservoir_samples = 0; // healthy rows currently held
+  std::uint64_t reservoir_offered = 0; // healthy rows ever offered
+};
+
+class ModelProvider {
+ public:
+  /// A consistent (bundle, generation) pair.  The shared_ptr keeps the
+  /// bundle alive for the lease's lifetime even if the provider swaps a new
+  /// generation in concurrently.
+  struct Lease {
+    std::shared_ptr<const core::ModelBundle> bundle;
+    std::uint64_t generation = 0;
+  };
+
+  virtual ~ModelProvider() = default;
+
+  /// The current model.  Thread-safe; never returns a null bundle.
+  virtual Lease acquire() const = 0;
+
+  /// Feedback path, called by the scorer after each verdict is published.
+  /// `model_input` is the scored row in model-input space (post column
+  /// selection + scaling), valid only for the duration of the call.
+  /// Thread-safe; per-node calls arrive in window order.
+  virtual void on_verdict(const VerdictEvent& event,
+                          std::span<const double> model_input) = 0;
+
+  virtual AdaptationStats adaptation_stats() const { return {}; }
+};
+
+/// Builds one provider per shard for ShardedAnalyticsService: called with
+/// the shard index, the shard's initial bundle, and the shared event bus the
+/// provider should publish drift events on.
+using ModelProviderFactory = std::function<std::unique_ptr<ModelProvider>(
+    std::size_t shard, const core::ModelBundle& bundle, EventBus& bus)>;
+
+}  // namespace prodigy::stream

@@ -185,7 +185,19 @@ void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
       X.resize_for_overwrite(1, features.size());
       X.set_row(0, features);
     }
-    const auto scores = bundle_.detector.score(bundle_.transform_full(X));
+    // One lease covers the whole window: scoring, threshold, and the verdict
+    // all come from the same (bundle, generation) pair even if the provider
+    // hot-swaps concurrently.  Without a provider the owned frozen bundle is
+    // used and verdicts carry generation 0 — exactly the pre-adaptation
+    // behavior.
+    ModelProvider::Lease lease;
+    const core::ModelBundle* bundle = &bundle_;
+    if (config_.model_provider != nullptr) {
+      lease = config_.model_provider->acquire();
+      bundle = lease.bundle.get();
+    }
+    const tensor::Matrix model_input = bundle->transform_full(X);
+    const auto scores = bundle->detector.score(model_input);
 
     VerdictEvent event;
     event.job_id = node.job_id;
@@ -195,8 +207,9 @@ void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
     event.window_start_ts = window.span.start_ts;
     event.window_end_ts = window.span.end_ts;
     event.score = scores.at(0);
-    event.threshold = bundle_.detector.threshold();
+    event.threshold = bundle->detector.threshold();
     event.anomalous = event.score > event.threshold;
+    event.model_generation = lease.generation;
 
     windows_scored_.fetch_add(1, std::memory_order_relaxed);
     auto& registry = util::MetricsRegistry::global();
@@ -208,6 +221,11 @@ void OnlineScorer::score_window(NodeState& node, PendingWindow& window) {
       scoped_latency_->observe(seconds);
     }
     bus_.publish(event);
+    if (config_.model_provider != nullptr) {
+      // Feedback after publish: the verdict is already on the wire, so even
+      // a synchronous swap triggered here only affects the NEXT window.
+      config_.model_provider->on_verdict(event, model_input.row(0));
+    }
   } catch (const std::exception& e) {
     // A daemon must survive one malformed window (e.g. a frame width that
     // does not match the bundle's feature space); count it and move on.

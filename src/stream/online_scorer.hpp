@@ -16,6 +16,7 @@
 #include "pipeline/preprocess.hpp"
 #include "stream/event_bus.hpp"
 #include "stream/ingestor.hpp"
+#include "stream/model_provider.hpp"
 #include "stream/window.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -65,6 +66,15 @@ struct OnlineScorerConfig {
   /// opt-in reduced-precision modes; unset keeps the bundle's default,
   /// bit-exact Full plan).  Requires a fitted bundle.
   std::optional<nn::PlanPrecision> inference_precision;
+  /// Online adaptation hook.  When set, every window is scored through a
+  /// lease acquired from the provider for exactly that window (the swap is
+  /// atomic per window — no torn model), verdicts carry the lease's
+  /// generation, and each published verdict is fed back via on_verdict().
+  /// Must outlive the scorer.  Null (the default) keeps the scorer's owned
+  /// frozen bundle and generation 0 — behavior bit-identical to a build
+  /// without adaptation.  `inference_precision` only applies to the owned
+  /// bundle, never to provider leases.
+  ModelProvider* model_provider = nullptr;
 };
 
 class OnlineScorer : public RowSink {

@@ -40,6 +40,28 @@ void apply_io_degradation(double degradation, ResourceState& state) {
   }
 }
 
+/// The drifting new normal: with progress in [0, 1] and `drift` the relative
+/// end-of-run magnitude, the node slides toward a heavier operating point —
+/// more resident memory, hotter caches, more scheduling churn — the way a
+/// fleet's baseline creeps after a workload-mix or firmware change.  This is
+/// NOT an anomaly: every perturbed dimension stays well inside plausible
+/// healthy operation; it just no longer matches what a frozen model trained
+/// on day-one telemetry considers normal.
+void apply_baseline_drift(double drift, double progress, ResourceState& state) {
+  if (drift <= 0.0) return;
+  const double d = drift * progress;
+  state.mem_used_frac = std::min(0.95, state.mem_used_frac * (1.0 + d));
+  state.mem_anon_frac = std::min(0.85, state.mem_anon_frac * (1.0 + d));
+  state.mem_cached_frac = std::min(0.9, state.mem_cached_frac * (1.0 + 0.5 * d));
+  state.cpu_user = std::min(0.95, state.cpu_user * (1.0 + 0.4 * d));
+  state.cache_pressure *= 1.0 + 0.6 * d;
+  state.membw_pressure *= 1.0 + 0.6 * d;
+  state.page_fault_rate *= 1.0 + 0.5 * d;
+  state.ctx_switch_rate *= 1.0 + 0.3 * d;
+  state.interrupt_rate *= 1.0 + 0.2 * d;
+  state.net_rate *= 1.0 + 0.4 * d;
+}
+
 }  // namespace
 
 JobTelemetry generate_run(const RunConfig& config) {
@@ -86,11 +108,20 @@ JobTelemetry generate_run(const RunConfig& config) {
       }
     }
 
+    const double anomaly_start =
+        std::clamp(config.anomaly_start_frac, 0.0, 1.0 - 1e-9);
     for (std::size_t t = 0; t < timestamps; ++t) {
+      const double t_frac = static_cast<double>(t) / config.duration_s;
       ResourceState state = state_at(config.app, node_variation,
                                      static_cast<double>(t), config.duration_s, rng);
-      if (injector) {
-        injector->perturb(static_cast<double>(t) / config.duration_s, state, rng);
+      // Drift first (it is the new healthy baseline), then anomalies perturb
+      // on top of it — the overlapping-anomaly scenario.
+      apply_baseline_drift(config.baseline_drift, t_frac, state);
+      if (injector && t_frac >= anomaly_start) {
+        // Re-normalize progress so a late-starting anomaly still traverses
+        // its full intensity ramp over the time it is active.
+        injector->perturb((t_frac - anomaly_start) / (1.0 - anomaly_start),
+                          state, rng);
       }
       apply_io_degradation(config.io_degradation, state);
 

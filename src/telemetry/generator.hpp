@@ -50,6 +50,19 @@ struct RunConfig {
   double io_degradation = 0.0;
   /// First component id assigned to this job's nodes.
   std::int64_t first_component_id = 0;
+  /// Gradual healthy-baseline drift: every node's resource state ramps
+  /// linearly toward a shifted operating point, reaching this relative
+  /// magnitude at the end of the run (0.3 = ~30% shift on the drifting
+  /// dimensions).  Models workload-mix / firmware / aging change — the NEW
+  /// NORMAL, so drifted samples stay labeled healthy; a frozen detector's
+  /// false alarms on them are exactly what online adaptation must fix.
+  double baseline_drift = 0.0;
+  /// Fraction of the run [0, 1) after which the injected anomaly activates
+  /// (its intensity ramp is re-normalized to the remaining time, so e.g. a
+  /// memleak starting at 0.5 still leaks to full size by run end).  0 keeps
+  /// the HPAS default of anomalies active from the start.  Lets an anomaly
+  /// overlap an already-drifted baseline.
+  double anomaly_start_frac = 0.0;
 };
 
 /// Generates the full job telemetry for one run.

@@ -1,0 +1,436 @@
+// Unit tests for the online-adaptation subsystem (src/adapt/): the detector
+// registry, the healthy-sample reservoir, the Page–Hinkley drift monitor,
+// and the AdaptiveModelManager's refit/validate/swap cycle driven directly
+// (no streaming stack; tests/adapt_stream_test.cpp covers the integration).
+#include "adapt/detector_registry.hpp"
+#include "adapt/drift_monitor.hpp"
+#include "adapt/healthy_reservoir.hpp"
+#include "adapt/model_manager.hpp"
+#include "core/model_trainer.hpp"
+#include "stream/event_bus.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+namespace {
+
+using namespace prodigy;
+
+// ---------------------------------------------------------------------------
+// DetectorRegistry
+
+TEST(DetectorRegistryTest, BuiltinZooRegisteredInOrder) {
+  const auto& registry = adapt::DetectorRegistry::global();
+  const std::vector<std::string> expected = {
+      "prodigy", "usad", "majority", "random", "isolation-forest",
+      "lof",     "kmeans", "gmm",    "pca"};
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(names[i], expected[i]);
+    EXPECT_TRUE(registry.contains(expected[i]));
+  }
+  EXPECT_EQ(registry.display_name("prodigy"), "Prodigy");
+  EXPECT_EQ(registry.display_name("usad"), "USAD");
+  EXPECT_EQ(registry.display_name("majority"), "Majority Label Prediction");
+  EXPECT_EQ(registry.display_name("lof"), "Local Outlier Factor");
+}
+
+TEST(DetectorRegistryTest, MakeConstructsCheapBaselines) {
+  const auto& registry = adapt::DetectorRegistry::global();
+  for (const auto* name : {"random", "majority", "isolation-forest", "lof"}) {
+    const auto detector = registry.make(name);
+    ASSERT_NE(detector, nullptr) << name;
+    EXPECT_FALSE(detector->name().empty());
+  }
+}
+
+TEST(DetectorRegistryTest, UnknownNameThrows) {
+  const auto& registry = adapt::DetectorRegistry::global();
+  EXPECT_THROW((void)registry.make("no-such-detector"), std::out_of_range);
+  EXPECT_THROW((void)registry.display_name("no-such-detector"),
+               std::out_of_range);
+  EXPECT_FALSE(registry.contains("no-such-detector"));
+}
+
+TEST(DetectorRegistryTest, OpenRegistrationAndBoundFactory) {
+  adapt::DetectorRegistry registry;  // project-local, not the global zoo
+  std::vector<std::uint64_t> seen_seeds;
+  registry.register_detector(
+      "stub", "Stub Detector",
+      [&seen_seeds](const adapt::DetectorOptions& options) {
+        seen_seeds.push_back(options.seed);
+        return adapt::DetectorRegistry::global().make("random", options);
+      });
+  EXPECT_TRUE(registry.contains("stub"));
+  EXPECT_EQ(registry.display_name("stub"), "Stub Detector");
+  ASSERT_EQ(registry.names(), std::vector<std::string>{"stub"});
+
+  adapt::DetectorOptions options;
+  options.seed = 123;
+  const auto bound = registry.factory("stub", options);
+  // The bound factory owns copies of name + options: usable repeatedly and
+  // after the registry entry is replaced.
+  EXPECT_NE(bound(), nullptr);
+  registry.register_detector("stub", "Replaced",
+                             [](const adapt::DetectorOptions& o) {
+                               return adapt::DetectorRegistry::global().make(
+                                   "majority", o);
+                             });
+  EXPECT_NE(bound(), nullptr);
+  ASSERT_EQ(seen_seeds.size(), 2u);
+  EXPECT_EQ(seen_seeds[0], 123u);
+  EXPECT_EQ(seen_seeds[1], 123u);
+}
+
+// ---------------------------------------------------------------------------
+// HealthyReservoir
+
+std::vector<double> tagged_row(double tag, std::size_t width = 3) {
+  std::vector<double> row(width, tag);
+  return row;
+}
+
+TEST(HealthyReservoirTest, BoundedAndFullyAccounted) {
+  adapt::HealthyReservoir reservoir({.capacity = 8, .holdout_capacity = 0,
+                                     .holdout_stride = 0, .seed = 5});
+  for (int i = 0; i < 100; ++i) reservoir.offer(tagged_row(i));
+  EXPECT_EQ(reservoir.size(), 8u);
+  EXPECT_EQ(reservoir.holdout_size(), 0u);
+  EXPECT_EQ(reservoir.offered(), 100u);
+  const auto snap = reservoir.snapshot();
+  EXPECT_EQ(snap.train.rows(), 8u);
+  EXPECT_EQ(snap.train.cols(), 3u);
+  EXPECT_EQ(snap.holdout.rows(), 0u);
+  EXPECT_EQ(snap.offered, 100u);
+}
+
+TEST(HealthyReservoirTest, DeterministicForFixedOfferOrder) {
+  const adapt::HealthyReservoirConfig config{
+      .capacity = 16, .holdout_capacity = 4, .holdout_stride = 4, .seed = 17};
+  adapt::HealthyReservoir a(config);
+  adapt::HealthyReservoir b(config);
+  for (int i = 0; i < 200; ++i) {
+    a.offer(tagged_row(i));
+    b.offer(tagged_row(i));
+  }
+  const auto sa = a.snapshot();
+  const auto sb = b.snapshot();
+  ASSERT_EQ(sa.train.rows(), sb.train.rows());
+  ASSERT_EQ(sa.holdout.rows(), sb.holdout.rows());
+  for (std::size_t r = 0; r < sa.train.rows(); ++r) {
+    EXPECT_EQ(sa.train(r, 0), sb.train(r, 0));
+  }
+  for (std::size_t r = 0; r < sa.holdout.rows(); ++r) {
+    EXPECT_EQ(sa.holdout(r, 0), sb.holdout(r, 0));
+  }
+}
+
+TEST(HealthyReservoirTest, HoldoutSliceIsDisjointFromTrainPool) {
+  // Capacities exceed the offer count, so every admitted row is retained and
+  // the stride routing is fully observable: every 4th arrival (1-based
+  // ordinals 4, 8, ... = tags 3, 7, ...) validates.
+  adapt::HealthyReservoir reservoir({.capacity = 64, .holdout_capacity = 16,
+                                     .holdout_stride = 4, .seed = 17});
+  for (int i = 0; i < 40; ++i) reservoir.offer(tagged_row(i));
+  EXPECT_EQ(reservoir.size(), 30u);
+  EXPECT_EQ(reservoir.holdout_size(), 10u);
+  const auto snap = reservoir.snapshot();
+  std::set<double> train_tags, holdout_tags;
+  for (std::size_t r = 0; r < snap.train.rows(); ++r) {
+    train_tags.insert(snap.train(r, 0));
+  }
+  for (std::size_t r = 0; r < snap.holdout.rows(); ++r) {
+    holdout_tags.insert(snap.holdout(r, 0));
+    EXPECT_EQ(static_cast<int>(snap.holdout(r, 0)) % 4, 3);
+  }
+  for (const double tag : holdout_tags) {
+    EXPECT_EQ(train_tags.count(tag), 0u) << "row validated AND trained: " << tag;
+  }
+}
+
+TEST(HealthyReservoirTest, WidthMismatchCountedNotStored) {
+  adapt::HealthyReservoir reservoir({.capacity = 8, .holdout_stride = 0});
+  reservoir.offer(tagged_row(1.0, 3));  // pins width 3
+  reservoir.offer(tagged_row(2.0, 5));
+  reservoir.offer(tagged_row(3.0, 3));
+  EXPECT_EQ(reservoir.size(), 2u);
+  EXPECT_EQ(reservoir.offered(), 3u);
+  EXPECT_EQ(reservoir.mismatched(), 1u);
+}
+
+TEST(HealthyReservoirTest, ClearDropsRowsKeepsCounters) {
+  adapt::HealthyReservoir reservoir({.capacity = 8, .holdout_stride = 0});
+  for (int i = 0; i < 5; ++i) reservoir.offer(tagged_row(i));
+  reservoir.clear();
+  EXPECT_EQ(reservoir.size(), 0u);
+  EXPECT_EQ(reservoir.offered(), 5u);
+  reservoir.offer(tagged_row(9.0));  // width stays pinned at 3
+  EXPECT_EQ(reservoir.size(), 1u);
+  reservoir.offer(tagged_row(9.0, 4));
+  EXPECT_EQ(reservoir.mismatched(), 1u);
+}
+
+TEST(HealthyReservoirTest, InvalidConfigThrows) {
+  EXPECT_THROW(adapt::HealthyReservoir({.capacity = 0}), std::invalid_argument);
+  EXPECT_THROW(adapt::HealthyReservoir({.capacity = 8, .holdout_stride = 1}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor
+
+TEST(DriftMonitorTest, StableStreamNeverFlags) {
+  adapt::DriftMonitor monitor({.warmup_observations = 8, .delta = 0.02,
+                               .lambda = 4.0});
+  util::Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_FALSE(monitor.observe(1.0 + 0.01 * rng.gaussian()));
+  }
+  EXPECT_TRUE(monitor.armed());
+  EXPECT_EQ(monitor.drifts_detected(), 0u);
+  EXPECT_LT(monitor.statistic(), 4.0);
+}
+
+TEST(DriftMonitorTest, UpwardShiftFlagsAndResets) {
+  adapt::DriftMonitor monitor({.warmup_observations = 8, .delta = 0.02,
+                               .lambda = 4.0});
+  for (int i = 0; i < 8; ++i) monitor.observe(1.0);
+  ASSERT_TRUE(monitor.armed());
+  bool flagged = false;
+  int steps = 0;
+  while (!flagged && steps < 200) {
+    flagged = monitor.observe(5.0);
+    ++steps;
+  }
+  EXPECT_TRUE(flagged) << "5x error shift never flagged in 200 observations";
+  EXPECT_GT(monitor.last_drift_statistic(), 4.0);
+  EXPECT_EQ(monitor.drifts_detected(), 1u);
+  // A flag resets to cold warm-up: the next episode is independent.
+  EXPECT_FALSE(monitor.armed());
+  EXPECT_EQ(monitor.statistic(), 0.0);
+}
+
+TEST(DriftMonitorTest, DownwardShiftNeverFlags) {
+  adapt::DriftMonitor monitor({.warmup_observations = 8, .delta = 0.02,
+                               .lambda = 4.0});
+  for (int i = 0; i < 8; ++i) monitor.observe(1.0);
+  for (int i = 0; i < 300; ++i) EXPECT_FALSE(monitor.observe(0.05));
+  EXPECT_EQ(monitor.drifts_detected(), 0u);
+}
+
+TEST(DriftMonitorTest, NonFiniteScoresIgnored) {
+  adapt::DriftMonitor monitor({.warmup_observations = 4});
+  monitor.observe(std::numeric_limits<double>::quiet_NaN());
+  monitor.observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(monitor.observations(), 0u);
+  for (int i = 0; i < 4; ++i) monitor.observe(1.0);
+  EXPECT_TRUE(monitor.armed());
+  EXPECT_EQ(monitor.observations(), 4u);
+}
+
+TEST(DriftMonitorTest, InvalidConfigThrows) {
+  EXPECT_THROW(adapt::DriftMonitor({.warmup_observations = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(adapt::DriftMonitor({.warmup_observations = 8, .delta = 0.02,
+                                    .lambda = 0.0}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveModelManager
+
+constexpr std::size_t kCols = 6;
+
+/// A healthy feature row around the training center.
+std::vector<double> healthy_row(util::Rng& rng) {
+  std::vector<double> row(kCols);
+  for (auto& v : row) v = 0.5 + 0.05 * rng.gaussian();
+  return row;
+}
+
+/// A tiny fitted bundle: VAE trained on synthetic healthy rows.  The manager
+/// unit tests drive on_verdict directly, so scaler/metadata stay defaults.
+core::ModelBundle tiny_bundle(std::uint64_t seed = 7) {
+  tensor::Matrix X(96, kCols);
+  util::Rng rng(seed);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = healthy_row(rng);
+    for (std::size_t c = 0; c < kCols; ++c) X(r, c) = row[c];
+  }
+  core::ProdigyConfig config;
+  config.vae.encoder_hidden = {8, 4};
+  config.vae.latent_dim = 2;
+  config.vae.seed = seed;
+  config.train.epochs = 40;
+  config.train.batch_size = 16;
+  config.train.learning_rate = 2e-3;
+  config.train.validation_split = 0.0;
+  config.train.early_stopping_patience = 0;
+  core::ModelBundle bundle;
+  bundle.detector = core::ProdigyDetector(config);
+  bundle.detector.fit_healthy(X);
+  return bundle;
+}
+
+adapt::AdaptationConfig fast_adapt_config() {
+  adapt::AdaptationConfig config;
+  config.reservoir = {.capacity = 128, .holdout_capacity = 32,
+                      .holdout_stride = 4, .seed = 17};
+  config.drift = {.warmup_observations = 8, .delta = 0.02, .lambda = 2.0};
+  config.min_refit_samples = 32;
+  config.min_holdout_samples = 4;
+  config.refit_epochs = 20;
+  config.validation_margin = 4.0;     // generous: unit tests assert mechanics
+  config.max_false_alarm_rate = 0.5;  // (the bench asserts quality)
+  config.synchronous = true;
+  return config;
+}
+
+stream::VerdictEvent scored_verdict(double score, double threshold,
+                                    std::uint64_t window) {
+  stream::VerdictEvent event;
+  event.job_id = 1;
+  event.component_id = 1;
+  event.window_index = window;
+  event.score = score;
+  event.threshold = threshold;
+  event.anomalous = score > threshold;
+  return event;
+}
+
+TEST(AdaptiveModelManagerTest, InitialGenerationIsOneAndLeaseServes) {
+  adapt::AdaptiveModelManager manager(tiny_bundle(), fast_adapt_config());
+  EXPECT_EQ(manager.generation(), 1u);
+  const auto lease = manager.acquire();
+  EXPECT_EQ(lease.generation, 1u);
+  ASSERT_NE(lease.bundle, nullptr);
+  EXPECT_TRUE(lease.bundle->detector.fitted());
+  const auto stats = manager.adaptation_stats();
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_EQ(stats.swaps_completed, 0u);
+}
+
+TEST(AdaptiveModelManagerTest, UnfittedInitialBundleRejected) {
+  EXPECT_THROW(adapt::AdaptiveModelManager(core::ModelBundle(),
+                                           fast_adapt_config()),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveModelManagerTest, OnlyHealthyVerdictsFeedReservoir) {
+  adapt::AdaptiveModelManager manager(tiny_bundle(), fast_adapt_config());
+  util::Rng rng(11);
+  const auto healthy = healthy_row(rng);
+  manager.on_verdict(scored_verdict(0.1, 1.0, 0), healthy);
+  EXPECT_EQ(manager.reservoir().offered(), 1u);
+  manager.on_verdict(scored_verdict(5.0, 1.0, 1), healthy);  // anomalous
+  EXPECT_EQ(manager.reservoir().offered(), 1u);
+  EXPECT_EQ(manager.adaptation_stats().reservoir_offered, 1u);
+}
+
+TEST(AdaptiveModelManagerTest, DriftTriggersSynchronousRefitAndSwap) {
+  stream::EventBus bus;
+  std::vector<stream::DriftEvent> events;
+  bus.subscribe_drift(
+      [&](const stream::DriftEvent& event) { events.push_back(event); });
+
+  auto bundle = tiny_bundle();
+  const double threshold = bundle.detector.threshold();
+  adapt::AdaptiveModelManager manager(std::move(bundle), fast_adapt_config(),
+                                      &bus, "unit");
+  util::Rng rng(23);
+  std::uint64_t window = 0;
+  // Healthy era: fills the reservoir past min_refit_samples and warms up the
+  // drift monitor at the baseline error level.
+  for (int i = 0; i < 64; ++i) {
+    manager.on_verdict(scored_verdict(0.2 * threshold, threshold, window++),
+                       healthy_row(rng));
+  }
+  ASSERT_GE(manager.reservoir().size(), 32u);
+  // Creep era: scores rise toward (but stay under) the threshold — the
+  // windows still read healthy, yet the error level has clearly shifted.
+  int steps = 0;
+  while (manager.generation() == 1 && steps < 300) {
+    manager.on_verdict(scored_verdict(0.9 * threshold, threshold, window++),
+                       healthy_row(rng));
+    ++steps;
+  }
+  EXPECT_EQ(manager.generation(), 2u)
+      << "sub-threshold error creep never produced a swap";
+
+  const auto stats = manager.adaptation_stats();
+  EXPECT_GE(stats.drifts_detected, 1u);
+  EXPECT_EQ(stats.refits_started, 1u);
+  EXPECT_EQ(stats.swaps_completed, 1u);
+  EXPECT_EQ(stats.swaps_refused, 0u);
+
+  // Lifecycle events: a DriftDetected, then the ModelSwapped for gen 2.
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.front().kind, stream::DriftEvent::Kind::DriftDetected);
+  EXPECT_EQ(events.front().scope, "unit");
+  bool saw_swap = false;
+  for (const auto& event : events) {
+    if (event.kind == stream::DriftEvent::Kind::ModelSwapped) {
+      saw_swap = true;
+      EXPECT_EQ(event.generation, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_swap);
+  EXPECT_EQ(bus.drift_events_published(), events.size());
+
+  // The new lease serves the refit candidate atomically.
+  const auto lease = manager.acquire();
+  EXPECT_EQ(lease.generation, 2u);
+  EXPECT_TRUE(lease.bundle->detector.fitted());
+}
+
+TEST(AdaptiveModelManagerTest, ImpossibleMarginRefusesCandidate) {
+  stream::EventBus bus;
+  std::vector<stream::DriftEvent> events;
+  bus.subscribe_drift(
+      [&](const stream::DriftEvent& event) { events.push_back(event); });
+  auto config = fast_adapt_config();
+  config.validation_margin = 0.0;  // candidate mean <= 0 is unsatisfiable
+  adapt::AdaptiveModelManager manager(tiny_bundle(), config, &bus);
+  util::Rng rng(29);
+  for (int i = 0; i < 64; ++i) {
+    manager.on_verdict(scored_verdict(0.1, 1.0, i), healthy_row(rng));
+  }
+  EXPECT_EQ(manager.refit_now(),
+            adapt::AdaptiveModelManager::RefitOutcome::RefusedValidation);
+  EXPECT_EQ(manager.generation(), 1u);
+  const auto stats = manager.adaptation_stats();
+  EXPECT_EQ(stats.refits_started, 1u);
+  EXPECT_EQ(stats.swaps_refused, 1u);
+  EXPECT_EQ(stats.swaps_completed, 0u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, stream::DriftEvent::Kind::SwapRefused);
+  EXPECT_EQ(events[0].generation, 1u);
+}
+
+TEST(AdaptiveModelManagerTest, RefitWithoutSamplesIsANoOp) {
+  adapt::AdaptiveModelManager manager(tiny_bundle(), fast_adapt_config());
+  EXPECT_EQ(manager.refit_now(),
+            adapt::AdaptiveModelManager::RefitOutcome::InsufficientSamples);
+  EXPECT_EQ(manager.generation(), 1u);
+  EXPECT_EQ(manager.adaptation_stats().refits_started, 0u);
+}
+
+TEST(AdaptiveModelManagerTest, ForcedSwapBumpsGenerationRejectsUnfitted) {
+  const auto bundle = tiny_bundle();
+  adapt::AdaptiveModelManager manager(bundle, fast_adapt_config());
+  EXPECT_EQ(manager.swap_model(bundle), 2u);
+  EXPECT_EQ(manager.swap_model(bundle), 3u);
+  EXPECT_EQ(manager.acquire().generation, 3u);
+  EXPECT_EQ(manager.adaptation_stats().swaps_completed, 2u);
+  EXPECT_THROW((void)manager.swap_model(core::ModelBundle()),
+               std::invalid_argument);
+  EXPECT_EQ(manager.generation(), 3u);  // failed swap left the slot alone
+}
+
+}  // namespace

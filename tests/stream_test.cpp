@@ -335,6 +335,61 @@ TEST(AlertBusTest, VerdictSinksSeeEveryPublishAndUnsubscribeStops) {
   EXPECT_EQ(bus.verdicts_published(), 3u);
 }
 
+// Regression for debounce state across a model hot-swap: a candidate streak
+// accumulated under one model generation must not be completed (or
+// cheapened) by verdicts from the next generation, while the settled health
+// state survives the swap untouched (a swap is not a health change).
+TEST(AlertBusTest, ModelSwapResetsCandidateStreakKeepsSettledState) {
+  stream::EventBus bus({.debounce_windows = 3});
+  std::vector<stream::TransitionEvent> transitions;
+  bus.subscribe_transitions(
+      [&](const stream::TransitionEvent& event) { transitions.push_back(event); });
+
+  auto generational = [](std::int64_t component, std::uint64_t window,
+                         bool anomalous, std::uint64_t generation) {
+    auto event = verdict(component, window, anomalous);
+    event.model_generation = generation;
+    return event;
+  };
+
+  std::uint64_t window = 0;
+  // Settle healthy under generation 1.
+  for (int i = 0; i < 3; ++i) bus.publish(generational(1, window++, false, 1));
+  ASSERT_EQ(transitions.size(), 1u);
+  ASSERT_FALSE(*bus.node_state(7, 1));
+
+  // Two anomalous verdicts under generation 1: one short of a transition.
+  bus.publish(generational(1, window++, true, 1));
+  bus.publish(generational(1, window++, true, 1));
+  EXPECT_EQ(transitions.size(), 1u);
+
+  // The model swaps.  Two more anomalous verdicts — under generation 2 —
+  // must NOT complete the old streak (2 + 2 is not 3-in-a-row under one
+  // model), and the settled healthy state must survive the swap.
+  bus.publish(generational(1, window++, true, 2));
+  bus.publish(generational(1, window++, true, 2));
+  EXPECT_EQ(transitions.size(), 1u);
+  EXPECT_FALSE(*bus.node_state(7, 1));
+
+  // Three consecutive generation-2 anomalous verdicts DO transition, and the
+  // transition carries the confirming verdict's generation.
+  bus.publish(generational(1, window++, true, 2));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_TRUE(transitions[1].anomalous);
+  EXPECT_EQ(transitions[1].consecutive, 3u);
+  EXPECT_EQ(transitions[1].model_generation, 2u);
+  EXPECT_TRUE(*bus.node_state(7, 1));
+
+  // A swap alone (generation bump on otherwise steady verdicts) raises no
+  // transition: the node is anomalous before and after.
+  bus.publish(generational(1, window++, true, 3));
+  bus.publish(generational(1, window++, true, 3));
+  bus.publish(generational(1, window++, true, 3));
+  EXPECT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(bus.verdicts_published(),
+            bus.transitions_published() + bus.suppressed());
+}
+
 TEST(AlertBusTest, ZeroDebounceRejected) {
   EXPECT_THROW(stream::EventBus bus({.debounce_windows = 0}),
                std::invalid_argument);
@@ -414,7 +469,9 @@ TEST(AlertBusConcurrencyTest, ShardPublishersKeepPerNodeTransitionsOrdered) {
       EXPECT_EQ(got[i].window_index, expected[i].window_index);
       EXPECT_EQ(got[i].consecutive, expected[i].consecutive);
       // Ordered: each node's transition stream advances monotonically.
-      if (i > 0) EXPECT_GT(got[i].window_index, got[i - 1].window_index);
+      if (i > 0) {
+        EXPECT_GT(got[i].window_index, got[i - 1].window_index);
+      }
     }
   }
 }

@@ -4,8 +4,11 @@
 //
 //   prodigy_stream --model DIR [--app LAMMPS --nodes 32 --duration 300]
 //                  [--anomaly memleak --intensity 1.0 --anomalous-nodes 1,3]
+//                  [--drift 0.3] [--anomaly-start 0.5]
 //                  [--seed 7] [--job-id 7001] [--speed 50]
 //                  [--window 64 --hop 16 --debounce 3]
+//                  [--adapt] [--adapt-warmup 64 --adapt-lambda 8
+//                   --adapt-min-refit 64 --adapt-epochs 60 --adapt-sync]
 //                  [--queue 256 --policy block|drop-oldest|drop-newest]
 //                  [--flush-rows 256] [--verbose] [--verify-batch]
 //                  [--replay FILE] [--out-store FILE] [--metrics-out PATH]
@@ -17,6 +20,15 @@
 // instead of generating.  --verify-batch re-scores every emitted window
 // through the batch AnalyticsService path and fails (exit 1) on any verdict
 // mismatch — the online and batch detectors must agree exactly.
+//
+// --drift ramps the healthy baseline toward a shifted operating point (the
+// new normal); --anomaly-start delays the injected anomaly so it overlaps
+// the drifted baseline.  --adapt hangs an AdaptiveModelManager off the
+// scorer: drift detection on the verdict stream, reservoir refit, validated
+// hot-swap — [drift]/[swap]/[refused] lines show the lifecycle, and the
+// summary reports the adaptation counters.  --verify-batch compares against
+// the frozen bundle and is therefore mutually exclusive with --adapt.
+#include "adapt/model_manager.hpp"
 #include "deploy/service.hpp"
 #include "hpas/anomalies.hpp"
 #include "stream/event_bus.hpp"
@@ -34,6 +46,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -156,8 +169,11 @@ int main(int argc, char** argv) {
     tools::usage(
         "usage: prodigy_stream --model DIR [--app NAME --nodes N --duration S]\n"
         "                      [--anomaly KIND --intensity X --anomalous-nodes 1,3]\n"
+        "                      [--drift X] [--anomaly-start F]\n"
         "                      [--seed S] [--job-id ID] [--speed X]\n"
         "                      [--window W --hop H --debounce K]\n"
+        "                      [--adapt] [--adapt-warmup N --adapt-lambda X\n"
+        "                       --adapt-min-refit N --adapt-epochs E --adapt-sync]\n"
         "                      [--queue CAP --policy block|drop-oldest|drop-newest]\n"
         "                      [--flush-rows N] [--verbose] [--verify-batch]\n"
         "                      [--replay FILE] [--out-store FILE] [--metrics-out PATH]\n"
@@ -188,6 +204,8 @@ int main(int argc, char** argv) {
       config.anomalous_nodes =
           parse_node_list(flags.get("anomalous-nodes", std::string()));
     }
+    config.baseline_drift = flags.get("drift", 0.0);
+    config.anomaly_start_frac = flags.get("anomaly-start", 0.0);
     batches = batches_from_run(telemetry::generate_run(config));
   }
   std::size_t total_samples = 0;
@@ -211,6 +229,11 @@ int main(int argc, char** argv) {
 
   const bool verbose = flags.has("verbose");
   const bool verify = flags.has("verify-batch");
+  const bool adapt = flags.has("adapt");
+  if (verify && adapt) {
+    tools::usage("--verify-batch compares against the frozen bundle and "
+                 "cannot be combined with --adapt\n");
+  }
   std::mutex print_mutex;
   std::map<VerdictKey, stream::VerdictEvent> verdicts;
   bus.subscribe([&](const stream::VerdictEvent& event) {
@@ -243,9 +266,40 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(event.consecutive));
   });
 
+  // The manager must outlive the scorer (the scorer calls back into it from
+  // scoring tasks), so it is declared first.
+  std::unique_ptr<adapt::AdaptiveModelManager> manager;
+  if (adapt) {
+    bus.subscribe_drift([&](const stream::DriftEvent& event) {
+      std::lock_guard lock(print_mutex);
+      const char* what = event.kind == stream::DriftEvent::Kind::DriftDetected
+                             ? "DRIFT detected"
+                             : (event.kind == stream::DriftEvent::Kind::ModelSwapped
+                                    ? "model SWAPPED in"
+                                    : "candidate REFUSED");
+      std::printf("[adapt] %s: generation %llu, statistic %.3f (model "
+                  "threshold %.3f), %llu reservoir samples\n",
+                  what, static_cast<unsigned long long>(event.generation),
+                  event.statistic, event.threshold,
+                  static_cast<unsigned long long>(event.reservoir_samples));
+    });
+    adapt::AdaptationConfig adapt_config;
+    adapt_config.drift.warmup_observations =
+        static_cast<std::size_t>(flags.get("adapt-warmup", 64LL));
+    adapt_config.drift.lambda = flags.get("adapt-lambda", 8.0);
+    adapt_config.min_refit_samples =
+        static_cast<std::size_t>(flags.get("adapt-min-refit", 64LL));
+    adapt_config.refit_epochs =
+        static_cast<std::size_t>(flags.get("adapt-epochs", 60LL));
+    adapt_config.synchronous = flags.has("adapt-sync");
+    manager = std::make_unique<adapt::AdaptiveModelManager>(
+        bundle, adapt_config, &bus, "stream");
+  }
+
   stream::OnlineScorerConfig scorer_config;
   scorer_config.window = static_cast<std::size_t>(flags.get("window", 64LL));
   scorer_config.hop = static_cast<std::size_t>(flags.get("hop", 16LL));
+  scorer_config.model_provider = manager.get();
   stream::OnlineScorer scorer(bundle, bus, scorer_config);
 
   deploy::DsosStore store;
@@ -302,6 +356,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(scorer.score_errors()),
               static_cast<unsigned long long>(bus.transitions_published()),
               static_cast<unsigned long long>(bus.suppressed()));
+  if (manager) {
+    manager->stop();  // join the refit worker before reading the counters
+    const auto adapt_stats = manager->adaptation_stats();
+    std::printf("adaptation: generation %llu, %llu drifts, %llu refits, "
+                "%llu swaps, %llu refusals, %llu/%llu reservoir samples kept\n",
+                static_cast<unsigned long long>(adapt_stats.generation),
+                static_cast<unsigned long long>(adapt_stats.drifts_detected),
+                static_cast<unsigned long long>(adapt_stats.refits_started),
+                static_cast<unsigned long long>(adapt_stats.swaps_completed),
+                static_cast<unsigned long long>(adapt_stats.swaps_refused),
+                static_cast<unsigned long long>(adapt_stats.reservoir_samples),
+                static_cast<unsigned long long>(adapt_stats.reservoir_offered));
+  }
 
   if (flags.has("out-store")) {
     const auto path = flags.get("out-store", std::string());
