@@ -6,20 +6,26 @@
 // metrics registry (stage histograms) after the run.
 #include "bench_common.hpp"
 
+#include "features/extractors.hpp"
 #include "features/incremental_profile.hpp"
+#include "features/kernels.hpp"
 #include "features/registry.hpp"
 #include "features/series_profile.hpp"
+#include "util/aligned.hpp"
 #include "util/metrics.hpp"
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <numbers>
 #include <string>
 
 namespace {
 
 using namespace prodigy;
+namespace kernels = features::kernels;
 
 tensor::Matrix make_window(std::size_t samples, std::size_t metrics,
                            std::uint64_t seed) {
@@ -141,6 +147,153 @@ BENCHMARK(BM_FullRecomputeHop)
     ->Args({1024, 64})
     ->Args({4096, 16})
     ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Per-kernel before/after gauges: each benchmark registers a `/scalar` and a
+// `/simd` shape via kernels::force_scalar, so the vectorization win of every
+// kernel is measurable in one run (the /scalar leg IS the pre-kernel code:
+// the scalar oracles are the verbatim historical loops or the identical
+// lane DAG without vector hints).
+
+/// ApEn pair sweep (the entropy group's dominant cost): subsampled series,
+/// m = 2, r = 0.2 sigma — the registry's exact call shape.
+void BM_ApEnSweep(benchmark::State& state) {
+  kernels::force_scalar(state.range(1) != 0);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto xs = make_series(n, 29);
+  // r at the pipeline's 0.2 * stddev (make_series draws from sd = 2.0).
+  const double r = 0.4;
+  constexpr std::size_t kDim = 2;
+  std::vector<std::uint32_t> lo(n - kDim + 1);
+  std::vector<std::uint32_t> hi(n - kDim);
+  kernels::ApEnScratch scratch;
+  for (auto _ : state) {
+    std::fill(lo.begin(), lo.end(), 1u);
+    std::fill(hi.begin(), hi.end(), 1u);
+    kernels::apen_match_counts(xs, kDim, r, lo, hi, scratch);
+    benchmark::DoNotOptimize(lo.data());
+    benchmark::DoNotOptimize(hi.data());
+  }
+  kernels::force_scalar(false);
+}
+BENCHMARK(BM_ApEnSweep)
+    ->Args({256, 0})   // the extractor's subsampled size
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->ArgNames({"n", "scalar"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Sliding-DFT apply: H deltas into W/2 + 1 bins, the per-emission spectral
+/// cost on the SDFT path.  Grounds the spectral_cost_model constants.
+void BM_SdftApply(benchmark::State& state) {
+  const auto W = static_cast<std::size_t>(state.range(0));
+  const auto hop = static_cast<std::size_t>(state.range(1));
+  kernels::force_scalar(state.range(2) != 0);
+  const std::size_t bins = W / 2 + 1;
+  util::AlignedVec<double> tw_re(W), tw_im(W);
+  for (std::size_t j = 0; j < W; ++j) {
+    const double angle = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                         static_cast<double>(W);
+    tw_re[j] = std::cos(angle);
+    tw_im[j] = std::sin(angle);
+  }
+  util::AlignedVec<double> bin_re(bins, 0.0), bin_im(bins, 0.0);
+  const auto deltas = make_series(hop, 31);
+  std::size_t u0 = 0;
+  for (auto _ : state) {
+    features::kernels::sdft_apply(bin_re.data(), bin_im.data(), bins,
+                                  tw_re.data(), tw_im.data(),
+                                  static_cast<std::uint32_t>(W), u0, deltas);
+    benchmark::DoNotOptimize(bin_re.data());
+    benchmark::DoNotOptimize(bin_im.data());
+    u0 = (u0 + hop) % W;
+  }
+  kernels::force_scalar(false);
+}
+BENCHMARK(BM_SdftApply)
+    ->Args({1024, 16, 0})
+    ->Args({1024, 16, 1})
+    ->Args({64, 16, 0})
+    ->Args({64, 16, 1})
+    ->ArgNames({"W", "H", "scalar"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// The per-emission linear-aggregate family on one window: sum/energy,
+/// variance, |dx|, runs — the profile passes the kernels replaced.
+void BM_AggregateKernels(benchmark::State& state) {
+  kernels::force_scalar(state.range(1) != 0);
+  const auto xs = make_series(static_cast<std::size_t>(state.range(0)), 37);
+  for (auto _ : state) {
+    const auto se = kernels::sum_energy(xs);
+    const double mean = se.sum / static_cast<double>(xs.size());
+    benchmark::DoNotOptimize(kernels::centered_sq_sum(xs, mean));
+    benchmark::DoNotOptimize(kernels::abs_change_sum(xs));
+    auto rs = kernels::run_stats(xs, mean);
+    benchmark::DoNotOptimize(&rs);
+  }
+  kernels::force_scalar(false);
+}
+BENCHMARK(BM_AggregateKernels)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->ArgNames({"n", "scalar"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Trend + autocorrelation + nonlinearity reductions (the remaining lane
+/// kernels the registry groups route through).
+void BM_ReductionKernels(benchmark::State& state) {
+  kernels::force_scalar(state.range(1) != 0);
+  const auto xs = make_series(static_cast<std::size_t>(state.range(0)), 41);
+  const auto se = kernels::sum_energy(xs);
+  const double mean = se.sum / static_cast<double>(xs.size());
+  const double var =
+      kernels::centered_sq_sum(xs, mean) / static_cast<double>(xs.size());
+  const double stddev = std::sqrt(var);
+  for (auto _ : state) {
+    auto t = kernels::trend_sums(
+        xs, (static_cast<double>(xs.size()) - 1.0) / 2.0, mean);
+    benchmark::DoNotOptimize(&t);
+    for (const std::size_t lag : {1, 2, 5, 10, 20}) {
+      benchmark::DoNotOptimize(kernels::centered_lag_mac(xs, mean, lag));
+    }
+    for (const std::size_t lag : {1, 2, 3}) {
+      auto c = kernels::c3_tr_sums(xs, lag);
+      benchmark::DoNotOptimize(&c);
+    }
+    auto zm = kernels::zmoment_sums(xs, mean, stddev);
+    benchmark::DoNotOptimize(&zm);
+  }
+  kernels::force_scalar(false);
+}
+BENCHMARK(BM_ReductionKernels)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->ArgNames({"n", "scalar"})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Sanity gauge for the SDFT-vs-FFT cost model: the modelled ratio must
+/// agree in *direction* with the measured per-emission costs, else the
+/// model silently picks the slower spectral path (checked in
+/// incremental_profile_test's golden-model suite; this reports the
+/// measured inputs for re-tuning).
+void BM_SpectralCostModel(benchmark::State& state) {
+  const auto W = static_cast<std::size_t>(state.range(0));
+  const auto hop = static_cast<std::size_t>(state.range(1));
+  const auto model = features::spectral_cost_model(W, hop);
+  for (auto _ : state) {
+    auto m = features::spectral_cost_model(W, hop);
+    benchmark::DoNotOptimize(&m);
+  }
+  state.counters["model_sdft"] = model.sdft_cost;
+  state.counters["model_fft"] = model.fft_cost;
+  state.counters["picks_sdft"] = model.use_sdft ? 1.0 : 0.0;
+}
+BENCHMARK(BM_SpectralCostModel)
+    ->Args({1024, 16})
+    ->Args({64, 16})
+    ->Args({64, 48})
+    ->ArgNames({"W", "H"});
 
 /// Per-group cost over an already-built profile: how the registry's time
 /// splits across extractor families.

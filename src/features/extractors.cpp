@@ -1,5 +1,6 @@
 #include "features/extractors.hpp"
 
+#include "features/kernels.hpp"
 #include "tensor/stats.hpp"
 
 #include <algorithm>
@@ -240,8 +241,9 @@ double cid_ce(std::span<const double> xs, bool normalize) noexcept {
 
 double approximate_entropy(std::span<const double> xs, std::size_t m, double r_frac) {
   constexpr std::size_t kMaxPoints = 256;  // O(n^2) cost control
-  std::vector<double> series;
+  thread_local std::vector<double> series;
   if (xs.size() > kMaxPoints) {
+    series.clear();
     series.reserve(kMaxPoints);
     const double stride = static_cast<double>(xs.size()) / kMaxPoints;
     for (std::size_t i = 0; i < kMaxPoints; ++i) {
@@ -264,64 +266,20 @@ double approximate_entropy(std::span<const double> xs, std::size_t m, double r_f
   // Exact pair-match counts for embedding dims m and m+1 in one symmetric
   // sweep: a dim-(m+1) match is a dim-m match whose next component also
   // agrees, so the expensive prefix comparison is shared, and (i, j) /
-  // (j, i) are counted together.  Counts are integers, so the iteration
-  // order cannot change them, and the phi log-sums below keep the original
-  // index order — the result is bit-identical to the naive two-pass
-  // O(2 n^2 m) loop this replaces.
+  // (j, i) are counted together.  The kernel runs the sorted dim-1
+  // prefilter as a vector diagonal sweep over lane-contiguous arrays;
+  // counts are integers, so the lane order cannot change them, and the phi
+  // log-sums below keep the original index order — the result is
+  // bit-identical to the naive two-pass O(2 n^2 m) loop.
   const std::size_t count_lo = n - m + 1;  // windows of length m
   const std::size_t count_hi = n - m;      // windows of length m+1
-  std::vector<std::uint32_t> matches_lo(count_lo, 1);  // self-match
-  std::vector<std::uint32_t> matches_hi(count_hi, 1);
-  if (m == 0) {
-    // Length-0 windows all match; only the dim-1 extension is tested.
-    for (std::size_t i = 0; i < count_lo; ++i) {
-      for (std::size_t j = i + 1; j < count_lo; ++j) {
-        ++matches_lo[i];
-        ++matches_lo[j];
-        if (j < count_hi && !(std::abs(series[i] - series[j]) > r)) {
-          ++matches_hi[i];
-          ++matches_hi[j];
-        }
-      }
-    }
-  } else {
-    // Dim-1 prefilter: a pair can only match if its first components are
-    // within r, and those pairs form contiguous runs once the window-start
-    // indices are sorted by first component.  This visits exactly the pairs
-    // whose k == 0 comparison would have passed — for the r = 0.2 sigma
-    // call site on noisy telemetry that is ~10% of all pairs — and the
-    // counts it produces are identical integers, so the feature value is
-    // bit-for-bit unchanged.
-    std::vector<std::pair<double, std::uint32_t>> order(count_lo);
-    for (std::size_t i = 0; i < count_lo; ++i) {
-      order[i] = {series[i], static_cast<std::uint32_t>(i)};
-    }
-    // Sorting (value, index) pairs keeps the run scan's value loads local
-    // (no indirection back into `series`); tie order is irrelevant because
-    // only the set of visited pairs matters, and it is value-determined.
-    std::sort(order.begin(), order.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (std::size_t a = 0; a < count_lo; ++a) {
-      const std::size_t i = order[a].second;
-      const double vi = order[a].first;
-      for (std::size_t b = a + 1; b < count_lo; ++b) {
-        if (order[b].first - vi > r) break;  // sorted: later b is farther
-        const std::size_t j = order[b].second;
-        bool match = true;
-        for (std::size_t k = 1; k < m && match; ++k) {
-          if (std::abs(series[i + k] - series[j + k]) > r) match = false;
-        }
-        if (!match) continue;
-        ++matches_lo[i];
-        ++matches_lo[j];
-        if (std::max(i, j) < count_hi &&
-            !(std::abs(series[i + m] - series[j + m]) > r)) {
-          ++matches_hi[i];
-          ++matches_hi[j];
-        }
-      }
-    }
-  }
+  thread_local std::vector<std::uint32_t> matches_lo;
+  thread_local std::vector<std::uint32_t> matches_hi;
+  matches_lo.assign(count_lo, 1);  // self-match
+  matches_hi.assign(count_hi, 1);
+  thread_local kernels::ApEnScratch apen_scratch;
+  kernels::apen_match_counts(series, m, r, matches_lo, matches_hi,
+                             apen_scratch);
 
   // Match counts are small integers in [1, count], so the log terms repeat
   // heavily; precompute log(k / count) once per distinct count (two per
@@ -373,6 +331,43 @@ double binned_entropy(std::span<const double> xs, std::size_t max_bins) {
                         tensor::max_value(xs));
 }
 
+double binned_entropy_sorted(std::span<const double> sorted,
+                             std::size_t max_bins, double min_value,
+                             double max_value) {
+  if (sorted.empty() || max_bins == 0) return 0.0;
+  const double lo = min_value;
+  const double hi = max_value;
+  if (hi <= lo) return 0.0;
+  // The scan path's bin map, verbatim.  Every step — subtraction of a
+  // constant, division by a positive constant, multiplication by a positive
+  // constant, the size_t truncation, the min clamp — is monotone
+  // non-decreasing in x under round-to-nearest, so on an ascending input
+  // the bin sequence is non-decreasing and each bin's population is a
+  // contiguous range: max_bins binary searches replace the O(n) scatter
+  // pass, with bit-identical counts.  Callers must pass finite values
+  // (the profile's sorted copy excludes NaNs; non-finite extrema take the
+  // scan path).
+  const auto bin_of = [&](double x) {
+    const auto bin = static_cast<std::size_t>(
+        (x - lo) / (hi - lo) * static_cast<double>(max_bins));
+    return std::min(bin, max_bins - 1);
+  };
+  const double n = static_cast<double>(sorted.size());
+  double entropy = 0.0;
+  const double* cursor = sorted.data();
+  const double* const end = sorted.data() + sorted.size();
+  for (std::size_t b = 0; b < max_bins && cursor != end; ++b) {
+    const double* next = std::partition_point(
+        cursor, end, [&](double x) { return bin_of(x) <= b; });
+    const auto count = static_cast<std::size_t>(next - cursor);
+    cursor = next;
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
 int benford_first_digit(double x) noexcept {
   double v = std::abs(x);
   if (v == 0.0 || !std::isfinite(v)) return 0;
@@ -414,19 +409,15 @@ LinearTrendResult linear_trend(std::span<const double> xs) noexcept {
   if (n < 2) return result;
   const double nd = static_cast<double>(n);
   const double t_mean = (nd - 1.0) / 2.0;
-  const double x_mean = tensor::mean(xs);
-  double stx = 0.0, stt = 0.0, sxx = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double dt = static_cast<double>(i) - t_mean;
-    const double dx = xs[i] - x_mean;
-    stx += dt * dx;
-    stt += dt * dt;
-    sxx += dx * dx;
-  }
-  if (stt == 0.0) return result;
-  result.slope = stx / stt;
+  // The mean and the least-squares sums both go through the lane kernels so
+  // every linear_trend caller (batch and incremental alike) computes the
+  // same bits.
+  const double x_mean = kernels::lane_sum(xs) / nd;
+  const auto s = kernels::trend_sums(xs, t_mean, x_mean);
+  if (s.stt == 0.0) return result;
+  result.slope = s.stx / s.stt;
   result.intercept = x_mean - result.slope * t_mean;
-  result.r_squared = sxx == 0.0 ? 0.0 : (stx * stx) / (stt * sxx);
+  result.r_squared = s.sxx == 0.0 ? 0.0 : (s.stx * s.stx) / (s.stt * s.sxx);
   return result;
 }
 

@@ -72,6 +72,13 @@ double binned_entropy(std::span<const double> xs, std::size_t max_bins);
 /// Extrema-reusing variant (the two-argument form delegates here).
 double binned_entropy(std::span<const double> xs, std::size_t max_bins,
                       double min_value, double max_value);
+/// Sorted-input variant: the bin map is monotone, so bin populations come
+/// from max_bins binary searches instead of an O(n) scatter pass — counts
+/// (and the entropy) are bit-identical to the scan path.  Requires finite
+/// ascending values and finite extrema; NaN/inf windows must use the scan.
+double binned_entropy_sorted(std::span<const double> sorted,
+                             std::size_t max_bins, double min_value,
+                             double max_value);
 
 // --- distributional law ---
 /// Pearson correlation between the first-digit distribution of xs and the

@@ -1,14 +1,16 @@
 #include "features/fft.hpp"
 
+#include "features/kernels.hpp"
 #include "tensor/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 
 namespace prodigy::features {
 
-void fft_radix2(std::vector<std::complex<double>>& data) {
+void fft_radix2(std::span<std::complex<double>> data) {
   const std::size_t n = data.size();
   if (n == 0) return;
   if ((n & (n - 1)) != 0) {
@@ -38,8 +40,8 @@ void fft_radix2(std::vector<std::complex<double>>& data) {
 }
 
 void power_spectrum(std::span<const double> xs,
-                    std::vector<std::complex<double>>& fft_buffer,
-                    std::vector<double>& power) {
+                    util::AlignedVec<std::complex<double>>& fft_buffer,
+                    util::AlignedVec<double>& power) {
   if (xs.empty()) {
     power.assign(1, 0.0);
     return;
@@ -69,10 +71,10 @@ void power_spectrum(std::span<const double> xs,
 }
 
 std::vector<double> power_spectrum(std::span<const double> xs) {
-  std::vector<std::complex<double>> buffer;
-  std::vector<double> power;
+  util::AlignedVec<std::complex<double>> buffer;
+  util::AlignedVec<double> power;
   power_spectrum(xs, buffer, power);
-  return power;
+  return {power.begin(), power.end()};
 }
 
 SpectralSummary spectral_summary(std::span<const double> xs) {
@@ -80,37 +82,62 @@ SpectralSummary spectral_summary(std::span<const double> xs) {
 }
 
 SpectralSummary spectral_summary_from_power(std::span<const double> power) {
+  // The weighted sums run through the fixed-lane feature kernels (power is
+  // finite and non-negative by construction), with the per-element
+  // normalizations folded into one final divide each; the entropy pass
+  // stays a scalar loop — its per-bin std::log calls must stay on the
+  // scalar libm path so SIMD and no-SIMD builds agree bit-for-bit.
   SpectralSummary summary;
   if (power.size() < 2) return summary;
 
-  double total = 0.0;
-  for (double p : power) total += p;
+  const double total = kernels::lane_sum(power);
   summary.total_power = total;
   if (total <= 0.0) return summary;
 
   const double bins = static_cast<double>(power.size() - 1);
-  double centroid = 0.0;
-  std::size_t peak_bin = 0;
-  for (std::size_t k = 0; k < power.size(); ++k) {
-    const double freq = static_cast<double>(k) / bins;  // normalized [0, 1]
-    centroid += freq * power[k];
-    if (power[k] > power[peak_bin]) peak_bin = k;
-  }
-  centroid /= total;
+  const double inv_bins = 1.0 / bins;
+  const double centroid = kernels::freq_weighted_sum(power, inv_bins) / total;
   summary.centroid = centroid;
-  summary.peak_frequency = static_cast<double>(peak_bin) / bins;
+  summary.spread =
+      std::sqrt(kernels::freq_spread_sum(power, inv_bins, centroid) / total);
 
-  double spread = 0.0;
+  std::size_t peak_bin = 0;
   double entropy = 0.0;
   for (std::size_t k = 0; k < power.size(); ++k) {
-    const double freq = static_cast<double>(k) / bins;
+    if (power[k] > power[peak_bin]) peak_bin = k;
     const double p = power[k] / total;
-    spread += (freq - centroid) * (freq - centroid) * p;
     if (p > 0.0) entropy -= p * std::log(p);
-    summary.band_power[std::min<std::size_t>(3, static_cast<std::size_t>(freq * 4.0))] += p;
   }
-  summary.spread = std::sqrt(spread);
+  summary.peak_frequency = static_cast<double>(peak_bin) / bins;
   summary.entropy = entropy;
+
+  // Band powers: the bucket map min(3, floor(k / bins * 4)) is monotone
+  // non-decreasing in k, so each band is a contiguous bin range; three
+  // binary searches over the index space find the cut points with the
+  // exact per-element map, and each band sums through the lane kernel.
+  std::size_t cut[5];
+  cut[0] = 0;
+  cut[4] = power.size();
+  for (std::size_t band = 1; band <= 3; ++band) {
+    std::size_t lo = cut[band - 1];
+    std::size_t hi = power.size();
+    while (lo < hi) {  // first k whose bucket >= band
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const auto bucket = std::min<std::size_t>(
+          3, static_cast<std::size_t>(static_cast<double>(mid) / bins * 4.0));
+      if (bucket < band) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    cut[band] = lo;
+  }
+  for (std::size_t band = 0; band < 4; ++band) {
+    summary.band_power[band] =
+        kernels::lane_sum(power.subspan(cut[band], cut[band + 1] - cut[band])) /
+        total;
+  }
   return summary;
 }
 

@@ -2,6 +2,8 @@
 // fft_aggregated / spectral-density family).
 #pragma once
 
+#include "util/aligned.hpp"
+
 #include <complex>
 #include <span>
 #include <vector>
@@ -9,8 +11,9 @@
 namespace prodigy::features {
 
 /// In-place iterative radix-2 Cooley–Tukey FFT.  data.size() must be a
-/// power of two (use power_spectrum for arbitrary lengths).
-void fft_radix2(std::vector<std::complex<double>>& data);
+/// power of two (use power_spectrum for arbitrary lengths).  Takes a span so
+/// plain and over-aligned vectors both work as backing storage.
+void fft_radix2(std::span<std::complex<double>> data);
 
 /// One-sided power spectrum of a mean-removed, zero-padded copy of xs.
 /// Returns |X_k|^2 for k = 0 .. N/2 where N is xs.size() padded to 2^m.
@@ -19,10 +22,12 @@ std::vector<double> power_spectrum(std::span<const double> xs);
 /// Scratch-reusing variant: fills `power` with the one-sided spectrum using
 /// `fft_buffer` as the transform workspace.  Both buffers are resized as
 /// needed and keep their capacity across calls, so repeated extraction
-/// (extract_node_features' per-thread scratch) does not allocate.
+/// (extract_node_features' per-thread scratch) does not allocate.  The
+/// buffers are the 64-byte-aligned scratch type so spectra can feed the
+/// feature-kernel TU's vector loads unsplit.
 void power_spectrum(std::span<const double> xs,
-                    std::vector<std::complex<double>>& fft_buffer,
-                    std::vector<double>& power);
+                    util::AlignedVec<std::complex<double>>& fft_buffer,
+                    util::AlignedVec<double>& power);
 
 struct SpectralSummary {
   double total_power = 0.0;

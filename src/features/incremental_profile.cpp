@@ -1,5 +1,6 @@
 #include "features/incremental_profile.hpp"
 
+#include "features/kernels.hpp"
 #include "features/registry.hpp"
 #include "features/series_preprocess.hpp"
 #include "tensor/stats.hpp"
@@ -73,7 +74,7 @@ void SortedWindow::rebuild(std::span<const double> values) {
   size_ = sorted.size();
 }
 
-void SortedWindow::copy_sorted(std::vector<double>& out) const {
+void SortedWindow::copy_sorted(util::AlignedVec<double>& out) const {
   out.clear();
   out.reserve(size_);
   for (const auto& block : blocks_) {
@@ -166,11 +167,14 @@ struct IncrementalNodeExtractor::MetricState {
   double min_v = 0.0, max_v = 0.0;
   std::uint64_t first_max = 0, last_max = 0, first_min = 0, last_min = 0;
 
-  // Sliding DFT: bins[k] = sum over the frame of g[u] * w^{ku} (global
-  // phase, w = e^{-2*pi*i/W}).  `pending` holds (g[u] - g[u-W]) deltas not
-  // yet applied; `synced` is the frame end the bins represent.
-  std::vector<std::complex<double>> bins;
-  std::vector<double> pending;
+  // Sliding DFT: bin k = sum over the frame of g[u] * w^{ku} (global
+  // phase, w = e^{-2*pi*i/W}), stored planar (separate re/im arrays, both
+  // 64-byte aligned) so the kernel TU's apply loop runs unit-stride vector
+  // loads.  `pending` holds (g[u] - g[u-W]) deltas not yet applied;
+  // `synced` is the frame end the bins represent.
+  util::AlignedVec<double> bin_re;
+  util::AlignedVec<double> bin_im;
+  util::AlignedVec<double> pending;
   std::uint64_t synced = 0;
   bool sdft_resync = true;
 
@@ -200,7 +204,9 @@ struct IncrementalNodeExtractor::Impl {
   IncrementalConfig config;
   std::vector<std::uint8_t> is_counter;
   bool use_sdft = false;
-  std::vector<std::complex<double>> twiddle;  // w^j, j in [0, W)
+  // Exact twiddle table w^j, j in [0, W), planar for the kernel TU.
+  util::AlignedVec<double> tw_re;
+  util::AlignedVec<double> tw_im;
   std::vector<MetricState> states;
   std::uint64_t pushed = 0;
   std::uint64_t windows = 0;
@@ -411,39 +417,34 @@ void IncrementalNodeExtractor::Impl::compute_spectral(
     // Apply the pending deltas with the fixed global phase: each sample at
     // global index u contributes delta * w^{ku}; the exact twiddle table
     // means the phase itself never drifts, only the bin accumulations.
-    // Delta-outer iteration keeps each bin's accumulation order identical
-    // to delta-inner (j ascending per bin) while replacing one serial
-    // FP-add chain per bin with independent accumulators across bins,
-    // which is throughput-bound instead of latency-bound.
-    const std::size_t u0 = static_cast<std::size_t>(st.synced % W);
-    const std::size_t count = st.pending.size();
-    for (std::size_t j = 0; j < count; ++j) {
-      const double d = st.pending[j];
-      // A zero delta only adds +0.0 to every bin, which no downstream
-      // consumer can distinguish (bins feed norm() and further additions),
-      // so constant stretches cost nothing.
-      if (d == 0.0) continue;
-      const std::size_t uj = (u0 + j) % W;
-      std::size_t idx = 0;  // (k * uj) % W, advanced by uj per bin
-      for (std::size_t k = 0; k < bins; ++k) {
-        st.bins[k] += d * twiddle[idx];
-        idx += uj;
-        if (idx >= W) idx -= W;
-      }
-    }
+    // The kernel keeps the delta loop outer and vectorizes across bins
+    // (each bin still sees its deltas in ascending order), computing the
+    // twiddle index as the low bits of k * u — zero deltas are skipped
+    // inside, so constant stretches still cost nothing.
+    kernels::sdft_apply(st.bin_re.data(), st.bin_im.data(), bins,
+                        tw_re.data(), tw_im.data(),
+                        static_cast<std::uint32_t>(W),
+                        static_cast<std::size_t>(st.synced % W), st.pending);
     st.pending.clear();
     st.synced = end;
 
     // Corrected one-sided spectrum + Parseval drift check against the
-    // exactly-known window energy (variance * W, mean-removed).
+    // exactly-known window energy (variance * W, mean-removed).  The
+    // counter correction and |.|^2 are the componentwise expansion of the
+    // complex ops used before the planar split.
     scratch.power.resize(bins);
     const double delta_c = f0 - g_s;  // counter boundary rule, 0 for gauges
     const std::size_t s_idx = static_cast<std::size_t>(start % W);
     double e_spec = 0.0;
     for (std::size_t k = 1; k < bins; ++k) {
-      std::complex<double> b = st.bins[k];
-      if (counter) b += delta_c * twiddle[(k * s_idx) % W];
-      const double pw = std::norm(b);
+      double br = st.bin_re[k];
+      double bi = st.bin_im[k];
+      if (counter) {
+        const std::size_t idx = (k * s_idx) % W;
+        br += delta_c * tw_re[idx];
+        bi += delta_c * tw_im[idx];
+      }
+      const double pw = br * br + bi * bi;
       scratch.power[k] = pw;
       e_spec += (k == half) ? pw : 2.0 * pw;
     }
@@ -465,16 +466,23 @@ void IncrementalNodeExtractor::Impl::compute_spectral(
     // Resync the sliding bins from the mean-removed transform F (the FFT
     // left it in scratch.fft; padded == W since W is a power of two here):
     // for k >= 1 the mean term vanishes (sum of w^{kj} over a full period
-    // is zero), so  A_k = w^{k*start} * (F_k + (g_s - f0)).
+    // is zero), so  A_k = w^{k*start} * (F_k + (g_s - f0)), expanded here
+    // as the planar complex multiply.
     const std::size_t s_idx = static_cast<std::size_t>(start % W);
-    st.bins.resize(bins);
+    st.bin_re.resize(bins);
+    st.bin_im.resize(bins);
     const double back_c = g_s - f0;  // undo the counter boundary rule
     for (std::size_t k = 1; k < bins; ++k) {
-      st.bins[k] = twiddle[(k * s_idx) % W] * (scratch.fft[k] + back_c);
+      const std::size_t idx = (k * s_idx) % W;
+      const double fr = scratch.fft[k].real() + back_c;
+      const double fi = scratch.fft[k].imag();
+      st.bin_re[k] = tw_re[idx] * fr - tw_im[idx] * fi;
+      st.bin_im[k] = tw_re[idx] * fi + tw_im[idx] * fr;
     }
     double sum_g = p.sum;
     if (counter) sum_g += g_s - f0;
-    st.bins[0] = {sum_g, 0.0};
+    st.bin_re[0] = sum_g;
+    st.bin_im[0] = 0.0;
     st.pending.clear();
     st.synced = end;
     st.sdft_resync = false;
@@ -525,16 +533,13 @@ void IncrementalNodeExtractor::Impl::extract_metric(MetricState& st,
   const std::span<const double> f(scratch.column.data(), W);
   const double f0 = f[0];
 
-  // Exact linear aggregates: one interleaved pass replicating the batch
-  // profile's pass 1 (sum + energy) and its pass 3 (successive
-  // differences) accumulator-for-accumulator, which makes every feature
-  // derived from them bit-exact.  The rolling-sum drift sentinel
-  // cross-checks the carried structures against the exact sum.
-  double sum_f = 0.0, energy_f = 0.0;
-  for (const double x : f) {
-    sum_f += x;
-    energy_f += x * x;
-  }
+  // Exact linear aggregates: the same lane kernel the batch profile's
+  // pass 1 uses, so every feature derived from sum/energy is bit-exact
+  // against it.  The rolling-sum drift sentinel cross-checks the carried
+  // structures against the exact sum.
+  const auto se = kernels::sum_energy(f);
+  const double sum_f = se.sum;
+  const double energy_f = se.energy;
   double sum_g = sum_f;
   if (counter) sum_g += g_s - f0;
   const double rolling_sum =
@@ -561,18 +566,14 @@ void IncrementalNodeExtractor::Impl::extract_metric(MetricState& st,
   p.n = W;
   p.sum = sum_f;
   p.mean = sum_f / static_cast<double>(W);
-  p.variance = tensor::variance(f, p.mean);
+  p.variance = kernels::centered_sq_sum(f, p.mean) / static_cast<double>(W);
   p.stddev = std::sqrt(p.variance);
 
-  // Exact pass 3 (batch loop order): sum of successive absolute
-  // differences over the emitted view.  f already carries the counter-mode
-  // f[0] = f[1] substitution, so no boundary corrections are needed and the
-  // result is bit-identical to the batch profile.
+  // Exact pass 3 through the batch profile's kernel: f already carries the
+  // counter-mode f[0] = f[1] substitution, so no boundary corrections are
+  // needed and the result is bit-identical to the batch profile.
   p.abs_energy = energy_f;
-  p.abs_change_sum = 0.0;
-  for (std::size_t i = 1; i < W; ++i) {
-    p.abs_change_sum += std::abs(f[i] - f[i - 1]);
-  }
+  p.abs_change_sum = kernels::abs_change_sum(f);
 
   // Extrema: incremental state with expiry-aware rescan (counters always
   // rescan because their f[0] differs from the tracked g[start]).
@@ -603,27 +604,15 @@ void IncrementalNodeExtractor::Impl::extract_metric(MetricState& st,
     p.last_min = static_cast<std::size_t>(st.last_min - start);
   }
 
-  // Mean-relative run statistics: the profile's exact pass (O(W), cheap).
+  // Mean-relative run statistics: the batch profile's kernel (integer
+  // counts, bit-exact under any vector width).
   {
-    std::size_t run_above = 0, run_below = 0;
-    for (std::size_t i = 0; i < W; ++i) {
-      const double x = f[i];
-      if (x > p.mean) {
-        ++p.count_above;
-        ++run_above;
-        p.longest_above = std::max(p.longest_above, run_above);
-      } else {
-        run_above = 0;
-      }
-      if (x < p.mean) {
-        ++p.count_below;
-        ++run_below;
-        p.longest_below = std::max(p.longest_below, run_below);
-      } else {
-        run_below = 0;
-      }
-      if (i > 0 && ((f[i - 1] > p.mean) != (x > p.mean))) ++p.crossings;
-    }
+    const auto rstats = kernels::run_stats(f, p.mean);
+    p.count_above = rstats.count_above;
+    p.count_below = rstats.count_below;
+    p.longest_above = rstats.longest_above;
+    p.longest_below = rstats.longest_below;
+    p.crossings = rstats.crossings;
   }
 
   // Order statistics: O(W) concatenation of the sorted chunks reproduces
@@ -655,9 +644,19 @@ void IncrementalNodeExtractor::Impl::extract_metric(MetricState& st,
     std::size_t peaks = 0;
     if (W >= 2 * s + 1) {
       const auto bit = static_cast<std::uint8_t>(1u << b);
-      for (std::size_t i = s; i + s < W; ++i) {
-        const std::size_t slot = s0 + i < W ? s0 + i : s0 + i - W;
-        peaks += (st.peak_flags[slot] & bit) != 0 ? 1u : 0u;
+      // Ring slots (s0 + i) mod W for i in [s, W - s) form at most two
+      // contiguous byte runs; tally each with the vector popcount kernel.
+      const std::size_t lo = s0 + s;       // unwrapped first slot
+      const std::size_t hi = s0 + W - s;   // unwrapped one-past-last slot
+      const std::span<const std::uint8_t> flags(st.peak_flags);
+      if (hi <= W) {
+        peaks = kernels::count_flag_bits(flags.subspan(lo, hi - lo), bit);
+      } else if (lo >= W) {
+        peaks =
+            kernels::count_flag_bits(flags.subspan(lo - W, hi - lo), bit);
+      } else {
+        peaks = kernels::count_flag_bits(flags.subspan(lo, W - lo), bit) +
+                kernels::count_flag_bits(flags.subspan(0, hi - W), bit);
       }
       if (counter) {
         // Recheck the one flag whose neighbourhood includes f[0].
@@ -699,6 +698,35 @@ void IncrementalNodeExtractor::Impl::extract_metric(MetricState& st,
   compute_features_from_profile(p, out);
 }
 
+SpectralCostModel spectral_cost_model(std::size_t window,
+                                      std::size_t hop) noexcept {
+  SpectralCostModel m;
+  const double W = static_cast<double>(window);
+  // Per-emission complex-op counts, weighted by measured throughput.  The
+  // SDFT applies `hop` deltas to each of W/2 + 1 bins; the FFT recompute
+  // runs (W/2)*log2(W) butterflies plus the O(W) buffer fill, with a ~1.5x
+  // constant for bit reversal and twiddle recurrences.  kSdftVectorFactor
+  // converts SDFT bin-updates into FFT model units and is calibrated from
+  // bench/feature_extraction on the reference avx512 host:
+  //   * BM_SdftApply: 8.46us for 16 deltas x 513 bins at W=1024 and 0.55us
+  //     for 16 x 33 at W=64 — ~1.04ns per bin-update (the gathered-twiddle
+  //     vector path; gather-bound, so nearly width-independent).
+  //   * power_spectrum: 1.72us at W=64 (352 units), 43.7us at W=1024
+  //     (8704 units) — ~5.0ns per FFT model unit (serial std::complex
+  //     butterflies).
+  //   => factor = 1.04 / 5.0 ~= 0.21.  Crossover at W=64 lands at hop 51
+  //      (0.21 * 51 * 33 > 352), matching the measured per-emission times.
+  // Pick whichever is cheaper for the shape; the FFT side is also bit-exact
+  // with the batch path, so it doubles as the drift/rebuild fallback.
+  constexpr double kSdftVectorFactor = 0.21;
+  m.sdft_cost =
+      kSdftVectorFactor * static_cast<double>(hop) * (W / 2.0 + 1.0);
+  m.fft_cost = 1.5 * (W / 2.0) * std::log2(W) + W;
+  const bool pow2 = window >= 2 && (window & (window - 1)) == 0;
+  m.use_sdft = pow2 && m.sdft_cost < m.fft_cost;
+  return m;
+}
+
 IncrementalStats IncrementalNodeExtractor::Impl::sum_stats() const {
   IncrementalStats s;
   s.windows = windows;
@@ -731,25 +759,15 @@ IncrementalNodeExtractor::IncrementalNodeExtractor(
   }
 
   const std::size_t W = config.window;
-  const bool pow2 = (W & (W - 1)) == 0;
-  // Per-emission complex-op counts: the SDFT applies `hop` deltas to each
-  // of W/2 + 1 bins; the FFT recompute runs (W/2)*log2(W) butterflies plus
-  // the O(W) buffer fill, with a ~1.5x constant for bit reversal and
-  // twiddle recurrences.  Pick whichever is cheaper for this shape; the
-  // FFT side is also bit-exact with the batch path, so it doubles as the
-  // drift/rebuild fallback.
-  const double sdft_cost =
-      static_cast<double>(config.hop) * (static_cast<double>(W) / 2.0 + 1.0);
-  const double fft_cost = 1.5 * (static_cast<double>(W) / 2.0) *
-                              std::log2(static_cast<double>(W)) +
-                          static_cast<double>(W);
-  im.use_sdft = pow2 && sdft_cost < fft_cost;
+  im.use_sdft = spectral_cost_model(W, config.hop).use_sdft;
   if (im.use_sdft) {
-    im.twiddle.resize(W);
+    im.tw_re.resize(W);
+    im.tw_im.resize(W);
     for (std::size_t j = 0; j < W; ++j) {
       const double angle =
           -2.0 * std::numbers::pi * static_cast<double>(j) / static_cast<double>(W);
-      im.twiddle[j] = {std::cos(angle), std::sin(angle)};
+      im.tw_re[j] = std::cos(angle);
+      im.tw_im[j] = std::sin(angle);
     }
   }
 

@@ -48,6 +48,7 @@
 
 #include "features/series_profile.hpp"
 #include "tensor/matrix.hpp"
+#include "util/aligned.hpp"
 
 #include <complex>
 #include <cstdint>
@@ -80,6 +81,22 @@ struct IncrementalConfig {
   double drift_tolerance = 1e-9;
 };
 
+/// The SDFT-vs-FFT per-emission cost decision for a (window, hop) shape.
+/// Exposed so tests can golden-pin the crossover and the bench can
+/// sanity-check the model against measured throughput.
+struct SpectralCostModel {
+  double sdft_cost = 0.0;  // modelled per-emission SDFT apply cost
+  double fft_cost = 0.0;   // modelled per-emission FFT recompute cost
+  bool use_sdft = false;   // requires a power-of-two window
+};
+
+/// Evaluates the cost model the extractor's constructor uses to pick
+/// between the sliding DFT and the per-emission FFT recompute.  The
+/// constants are tuned to the vectorized kernel throughputs measured in
+/// bench/feature_extraction (see docs/performance.md).
+SpectralCostModel spectral_cost_model(std::size_t window,
+                                      std::size_t hop) noexcept;
+
 /// Counters aggregated across all metrics of one extractor.
 struct IncrementalStats {
   std::uint64_t windows = 0;              // emissions (per extractor)
@@ -104,8 +121,10 @@ class SortedWindow {
   /// Rebuilds from an unsorted window in O(W log W).
   void rebuild(std::span<const double> values);
   std::size_t size() const noexcept { return size_; }
-  /// Overwrites `out` with all values in ascending order.
-  void copy_sorted(std::vector<double>& out) const;
+  /// Overwrites `out` with all values in ascending order.  Takes the
+  /// 64-byte-aligned scratch type: the concatenation feeds the feature
+  /// kernels' vector loads.
+  void copy_sorted(util::AlignedVec<double>& out) const;
 
  private:
   // Blocks split at 2 * kTargetBlock, so they stay cache-sized and the

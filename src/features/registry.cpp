@@ -2,6 +2,7 @@
 
 #include "features/extractors.hpp"
 #include "features/fft.hpp"
+#include "features/kernels.hpp"
 #include "features/series_profile.hpp"
 #include "tensor/stats.hpp"
 
@@ -60,8 +61,16 @@ GroupBuilder build_groups() {
           out[4] = p.max;
           out[5] = p.stddev;
           out[6] = p.variance;
-          out[7] = tensor::skewness(p.xs, p.mean, p.stddev);
-          out[8] = tensor::kurtosis(p.xs, p.mean, p.stddev);
+          // One fused z-moment pass replaces the separate skewness and
+          // kurtosis loops; the guards replicate tensor::skewness (n >= 3)
+          // and tensor::kurtosis (n >= 4, excess -3) exactly.
+          out[7] = 0.0;
+          out[8] = 0.0;
+          if (n >= 3 && p.stddev != 0.0) {
+            const auto zm = kernels::zmoment_sums(p.xs, p.mean, p.stddev);
+            out[7] = zm.z3 / static_cast<double>(n);
+            if (n >= 4) out[8] = zm.z4 / static_cast<double>(n) - 3.0;
+          }
           out[9] = n == 0 ? 0.0 : p.max - p.min;
           out[10] = n == 0 ? 0.0
                            : quantile_or_nan(p, 0.75) - quantile_or_nan(p, 0.25);
@@ -96,7 +105,9 @@ GroupBuilder build_groups() {
                          : (p.xs.back() - p.xs.front()) /
                                static_cast<double>(n - 1);
           out[2] = n < 2 ? 0.0 : p.abs_change_sum;
-          out[3] = mean_second_derivative_central(p.xs);
+          out[3] = n < 3 ? 0.0
+                         : kernels::second_derivative_sum(p.xs) /
+                               static_cast<double>(n - 2);
         });
 
   b.add("extrema_location",
@@ -150,8 +161,17 @@ GroupBuilder build_groups() {
     }
     b.add("sigma_ratios", std::move(names),
           [](const SeriesProfile& p, double* out) {
+            // Same guards and threshold expression (r * stddev, rounded
+            // once) as ratio_beyond_r_sigma; the count is an integer, so
+            // the vectorized tally is bit-exact.
             for (std::size_t i = 0; i < std::size(kSigmas); ++i) {
-              out[i] = ratio_beyond_r_sigma(p.xs, kSigmas[i], p.mean, p.stddev);
+              if (p.n == 0 || p.stddev == 0.0) {
+                out[i] = 0.0;
+                continue;
+              }
+              const std::size_t count = kernels::count_beyond(
+                  p.xs, p.mean, kSigmas[i] * p.stddev);
+              out[i] = static_cast<double>(count) / static_cast<double>(p.n);
             }
           });
   }
@@ -164,35 +184,18 @@ GroupBuilder build_groups() {
     }
     b.add("autocorrelation", std::move(names),
           [](const SeriesProfile& p, double* out) {
-            // One pass over xs for every lag.  Each lag's accumulator sees
-            // the same terms in the same (i ascending) order as the per-lag
-            // tensor::autocorrelation loops, so the values stay
-            // bit-identical to the standalone oracle.
-            constexpr std::size_t kCount = std::size(kLags);
-            constexpr std::size_t kMaxLag = kLags[kCount - 1];
+            // One lane-kernel pass per lag.  The lag-offset product stream
+            // stays in i-ascending order inside each lane, so the result
+            // tracks the standalone tensor::autocorrelation oracle within
+            // the parity tolerance (the lane tree rounds ~1 ulp apart from
+            // the serial chain, same as every other kernel reduction).
             const std::size_t n = p.n;
-            double acc[kCount] = {};
-            const std::size_t bulk = n > kMaxLag ? n - kMaxLag : 0;
-            for (std::size_t i = 0; i < bulk; ++i) {
-              const double di = p.xs[i] - p.mean;
-              for (std::size_t l = 0; l < kCount; ++l) {
-                acc[l] += di * (p.xs[i + kLags[l]] - p.mean);
-              }
-            }
-            for (std::size_t i = bulk; i < n; ++i) {
-              const double di = p.xs[i] - p.mean;
-              for (std::size_t l = 0; l < kCount; ++l) {
-                if (i + kLags[l] < n) {
-                  acc[l] += di * (p.xs[i + kLags[l]] - p.mean);
-                }
-              }
-            }
-            for (std::size_t l = 0; l < kCount; ++l) {
+            for (std::size_t l = 0; l < std::size(kLags); ++l) {
               const std::size_t lag = kLags[l];
               out[l] = n <= lag + 1 || p.variance == 0.0
                            ? 0.0
-                           : acc[l] / (static_cast<double>(n - lag) *
-                                       p.variance);
+                           : kernels::centered_lag_mac(p.xs, p.mean, lag) /
+                                 (static_cast<double>(n - lag) * p.variance);
             }
           });
   }
@@ -204,27 +207,25 @@ GroupBuilder build_groups() {
         [](const SeriesProfile& p, double* out) {
           for (std::size_t lag = 1; lag <= 3; ++lag) {
             // c3 and time_reversal_asymmetry share the same index window;
-            // one loop feeds both accumulators with the standalone
-            // extractors' term order, so both stay bit-identical.
+            // the fused kernel feeds both accumulators with the standalone
+            // extractors' per-term arithmetic.
             if (p.n < 2 * lag + 1) {
               out[lag - 1] = 0.0;
               out[lag + 2] = 0.0;
               continue;
             }
             const std::size_t terms = p.n - 2 * lag;
-            double acc_c3 = 0.0, acc_tr = 0.0;
-            for (std::size_t i = 0; i < terms; ++i) {
-              const double a = p.xs[i + 2 * lag];
-              const double b = p.xs[i + lag];
-              const double c = p.xs[i];
-              acc_c3 += a * b * c;
-              acc_tr += a * a * b - b * c * c;
-            }
-            out[lag - 1] = acc_c3 / static_cast<double>(terms);
-            out[lag + 2] = acc_tr / static_cast<double>(terms);
+            const auto s = kernels::c3_tr_sums(p.xs, lag);
+            out[lag - 1] = s.c3 / static_cast<double>(terms);
+            out[lag + 2] = s.tr / static_cast<double>(terms);
           }
-          out[6] = cid_ce(p.xs, true, p.mean, p.stddev);
-          out[7] = cid_ce(p.xs, false);
+          // cid_ce's guards, per-element normalization, and final sqrt,
+          // with the squared-difference sums through the lane kernels.
+          out[6] = p.n < 2 || p.stddev == 0.0
+                       ? 0.0
+                       : std::sqrt(kernels::sq_zchange_sum(p.xs, p.mean,
+                                                           p.stddev));
+          out[7] = p.n < 2 ? 0.0 : std::sqrt(kernels::sq_change_sum(p.xs));
         });
 
   b.add("entropy",
@@ -232,7 +233,13 @@ GroupBuilder build_groups() {
          "benford_correlation"},
         [](const SeriesProfile& p, double* out) {
           out[0] = approximate_entropy(p.xs, 2, 0.2);
-          out[1] = p.n == 0 ? 0.0 : binned_entropy(p.xs, 10, p.min, p.max);
+          // Clean windows take the sorted-search variant (bit-identical
+          // counts); NaN/inf windows keep the historical scatter scan.
+          out[1] = p.n == 0 ? 0.0
+                   : p.nan_count == 0 && std::isfinite(p.min) &&
+                           std::isfinite(p.max)
+                       ? binned_entropy_sorted(p.sorted, 10, p.min, p.max)
+                       : binned_entropy(p.xs, 10, p.min, p.max);
           out[2] = p.rolling && p.rolling->has_benford ? p.rolling->benford
                                                        : benford_correlation(p.xs);
         });

@@ -1,5 +1,8 @@
 #include "features/series_profile.hpp"
 
+#include "features/kernels.hpp"
+#include "util/aligned.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -12,11 +15,13 @@ SeriesProfile compute_series_profile(std::span<const double> xs,
   p.n = xs.size();
   const std::size_t n = p.n;
 
-  // Pass 1: sum, energy, extrema with locations.  Each accumulator advances
-  // in index order, matching its standalone counterpart exactly.
-  for (double x : xs) {
-    p.sum += x;
-    p.abs_energy += x * x;
+  // Pass 1: sum and energy through the lane kernel (the incremental engine
+  // routes through the same kernel, which is what keeps the two paths
+  // bit-exact against each other), then extrema with locations.
+  {
+    const auto se = kernels::sum_energy(xs);
+    p.sum = se.sum;
+    p.abs_energy = se.energy;
   }
   if (n > 0) {
     p.mean = p.sum / static_cast<double>(n);
@@ -36,42 +41,20 @@ SeriesProfile compute_series_profile(std::span<const double> xs,
 
   // Pass 2 (needs the mean): variance and the mean-relative run statistics.
   if (n >= 2) {
-    double acc = 0.0;
-    for (double x : xs) {
-      const double d = x - p.mean;
-      acc += d * d;
-    }
-    p.variance = acc / static_cast<double>(n);
+    p.variance = kernels::centered_sq_sum(xs, p.mean) / static_cast<double>(n);
   }
   p.stddev = std::sqrt(p.variance);
   {
-    std::size_t run_above = 0, run_below = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double x = xs[i];
-      if (x > p.mean) {
-        ++p.count_above;
-        ++run_above;
-        p.longest_above = std::max(p.longest_above, run_above);
-      } else {
-        run_above = 0;
-      }
-      if (x < p.mean) {
-        ++p.count_below;
-        ++run_below;
-        p.longest_below = std::max(p.longest_below, run_below);
-      } else {
-        run_below = 0;
-      }
-      if (i > 0 && ((xs[i - 1] > p.mean) != (x > p.mean))) ++p.crossings;
-    }
+    const auto rs = kernels::run_stats(xs, p.mean);
+    p.count_above = rs.count_above;
+    p.count_below = rs.count_below;
+    p.longest_above = rs.longest_above;
+    p.longest_below = rs.longest_below;
+    p.crossings = rs.crossings;
   }
 
   // Pass 3: successive differences.
-  if (n >= 2) {
-    for (std::size_t i = 1; i < n; ++i) {
-      p.abs_change_sum += std::abs(xs[i] - xs[i - 1]);
-    }
-  }
+  p.abs_change_sum = kernels::abs_change_sum(xs);
 
   // One sort (order statistics), one FFT (spectral family), one fit (trend).
   // NaNs are excluded before sorting: std::sort on NaN violates strict weak
@@ -90,6 +73,9 @@ SeriesProfile compute_series_profile(std::span<const double> xs,
   p.sorted = scratch.sorted;
 
   power_spectrum(xs, scratch.fft, scratch.power);
+  util::debug_assert_aligned(scratch.sorted.data());
+  util::debug_assert_aligned(scratch.fft.data());
+  util::debug_assert_aligned(scratch.power.data());
   p.power = scratch.power;
   p.spectral = spectral_summary_from_power(scratch.power);
 

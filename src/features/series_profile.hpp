@@ -14,6 +14,7 @@
 
 #include "features/extractors.hpp"
 #include "features/fft.hpp"
+#include "util/aligned.hpp"
 
 #include <complex>
 #include <span>
@@ -41,12 +42,14 @@ struct RollingStats {
 
 /// Reusable per-thread buffers for profile construction.  Hot callers
 /// (extract_node_features) keep one per worker thread so a window's worth
-/// of metrics is extracted without per-series allocations.
+/// of metrics is extracted without per-series allocations.  All buffers are
+/// 64-byte aligned so the feature-kernel TU's full-width vector loads are
+/// never split across cache lines.
 struct FeatureScratch {
-  std::vector<double> column;               // gathered metric series
-  std::vector<double> sorted;               // sorted copy of the series
-  std::vector<std::complex<double>> fft;    // FFT work buffer
-  std::vector<double> power;                // one-sided power spectrum
+  util::AlignedVec<double> column;             // gathered metric series
+  util::AlignedVec<double> sorted;             // sorted copy of the series
+  util::AlignedVec<std::complex<double>> fft;  // FFT work buffer
+  util::AlignedVec<double> power;              // one-sided power spectrum
 };
 
 /// Everything the grouped extractors share, computed in a handful of passes

@@ -1,0 +1,57 @@
+// Over-aligned heap allocation for SIMD working buffers.
+//
+// The feature/tensor kernel TUs are compiled with their own -march and read
+// scratch buffers with full-width vector loads; allocating those buffers on
+// a 64-byte (cache-line / zmm) boundary keeps every aligned-width load
+// unsplit.  The allocator is a thin wrapper over the aligned operator new
+// added in C++17, so vectors using it behave exactly like std::vector.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace prodigy::util {
+
+template <class T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector whose storage starts on a 64-byte boundary.
+template <class T>
+using AlignedVec = std::vector<T, AlignedAllocator<T, 64>>;
+
+/// Debug-build check that a kernel scratch buffer really is over-aligned.
+/// Compiles away in release builds; empty buffers pass (nothing to load).
+inline void debug_assert_aligned([[maybe_unused]] const void* p,
+                                 [[maybe_unused]] std::size_t alignment = 64) {
+  assert(p == nullptr ||
+         reinterpret_cast<std::uintptr_t>(p) % alignment == 0);
+}
+
+}  // namespace prodigy::util

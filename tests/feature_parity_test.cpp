@@ -11,6 +11,7 @@
 #include "features/extractors.hpp"
 #include "features/feature_matrix.hpp"
 #include "features/fft.hpp"
+#include "features/kernels.hpp"
 #include "features/registry.hpp"
 #include "features/series_profile.hpp"
 #include "tensor/stats.hpp"
@@ -19,9 +20,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
+#include <numbers>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -310,6 +314,238 @@ TEST(FeatureParityTest, RejectsWrongOutputSize) {
   std::vector<double> out(features_per_metric() + 1);
   const auto xs = series_random(32, 5);
   EXPECT_THROW(compute_all_features(xs, out, scratch), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD-vs-scalar kernel sweeps.
+//
+// Every kernel in features/kernels.cpp promises bit-identical results
+// between its vector path and its scalar oracle (fixed-lane reduction DAG
+// for floating point, order-invariant tallies for integers).  These sweeps
+// enforce that promise with EXPECT_EQ on the raw bit patterns across
+// ragged lengths (vector-width remainders), constant/spiky/NaN-bearing
+// data, and the dispatch seam itself.  Under -DPRODIGY_NO_SIMD the vector
+// entry points compile to the scalar loops and the sweeps pin the fallback.
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Lengths straddling every lane boundary the kernels care about: empty,
+/// sub-lane, one lane +/- 1, several lanes, and large odd sizes.
+const std::vector<std::size_t>& sweep_lengths() {
+  static const std::vector<std::size_t> lens{
+      0, 1, 2, 3, 5, 7, 15, 16, 17, 31, 32, 33,
+      63, 64, 65, 255, 256, 257, 1000, 1023, 1024, 1025};
+  return lens;
+}
+
+std::vector<std::vector<double>> sweep_datasets(std::size_t n,
+                                                bool include_nonfinite) {
+  std::vector<std::vector<double>> sets;
+  sets.push_back(series_random(n, 0x5eed + n));
+  sets.push_back(series_constant(n, 3.25));
+  sets.push_back(series_spiky(n, 0xab + n));
+  if (include_nonfinite && n >= 2) sets.push_back(series_with_nans(n, n));
+  return sets;
+}
+
+TEST(FeatureKernelTest, FloatReductionsMatchScalarBitwise) {
+  for (const std::size_t n : sweep_lengths()) {
+    for (const auto& xs : sweep_datasets(n, /*include_nonfinite=*/true)) {
+      const double mean = n == 0 ? 0.0 : kernels::lane_sum_scalar(xs) /
+                                             static_cast<double>(n);
+      const double scale = 1.0 / static_cast<double>(std::max<std::size_t>(
+                                     1, n > 0 ? n - 1 : 1));
+      SCOPED_TRACE("n=" + std::to_string(n));
+
+      const auto se = kernels::sum_energy(xs);
+      const auto se_s = kernels::sum_energy_scalar(xs);
+      EXPECT_EQ(bits(se.sum), bits(se_s.sum));
+      EXPECT_EQ(bits(se.energy), bits(se_s.energy));
+
+      EXPECT_EQ(bits(kernels::lane_sum(xs)), bits(kernels::lane_sum_scalar(xs)));
+      EXPECT_EQ(bits(kernels::freq_weighted_sum(xs, scale)),
+                bits(kernels::freq_weighted_sum_scalar(xs, scale)));
+      EXPECT_EQ(bits(kernels::freq_spread_sum(xs, scale, 0.37)),
+                bits(kernels::freq_spread_sum_scalar(xs, scale, 0.37)));
+      EXPECT_EQ(bits(kernels::centered_sq_sum(xs, mean)),
+                bits(kernels::centered_sq_sum_scalar(xs, mean)));
+      EXPECT_EQ(bits(kernels::abs_change_sum(xs)),
+                bits(kernels::abs_change_sum_scalar(xs)));
+      EXPECT_EQ(bits(kernels::sq_change_sum(xs)),
+                bits(kernels::sq_change_sum_scalar(xs)));
+      EXPECT_EQ(bits(kernels::sq_zchange_sum(xs, mean, 1.7)),
+                bits(kernels::sq_zchange_sum_scalar(xs, mean, 1.7)));
+      EXPECT_EQ(bits(kernels::second_derivative_sum(xs)),
+                bits(kernels::second_derivative_sum_scalar(xs)));
+
+      const auto zm = kernels::zmoment_sums(xs, mean, 1.7);
+      const auto zm_s = kernels::zmoment_sums_scalar(xs, mean, 1.7);
+      EXPECT_EQ(bits(zm.z3), bits(zm_s.z3));
+      EXPECT_EQ(bits(zm.z4), bits(zm_s.z4));
+
+      const double t_mean = (static_cast<double>(n) - 1.0) / 2.0;
+      const auto tr = kernels::trend_sums(xs, t_mean, mean);
+      const auto tr_s = kernels::trend_sums_scalar(xs, t_mean, mean);
+      EXPECT_EQ(bits(tr.stx), bits(tr_s.stx));
+      EXPECT_EQ(bits(tr.stt), bits(tr_s.stt));
+      EXPECT_EQ(bits(tr.sxx), bits(tr_s.sxx));
+
+      for (const std::size_t lag : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{5}}) {
+        if (n > lag) {
+          EXPECT_EQ(bits(kernels::centered_lag_mac(xs, mean, lag)),
+                    bits(kernels::centered_lag_mac_scalar(xs, mean, lag)));
+        }
+        if (n >= 2 * lag + 1) {
+          const auto c3 = kernels::c3_tr_sums(xs, lag);
+          const auto c3_s = kernels::c3_tr_sums_scalar(xs, lag);
+          EXPECT_EQ(bits(c3.c3), bits(c3_s.c3));
+          EXPECT_EQ(bits(c3.tr), bits(c3_s.tr));
+        }
+      }
+    }
+  }
+}
+
+TEST(FeatureKernelTest, IntegerTalliesMatchScalar) {
+  for (const std::size_t n : sweep_lengths()) {
+    for (const auto& xs : sweep_datasets(n, /*include_nonfinite=*/true)) {
+      const double mean = n == 0 ? 0.0 : kernels::lane_sum_scalar(xs) /
+                                             static_cast<double>(n);
+      SCOPED_TRACE("n=" + std::to_string(n));
+
+      const auto rs = kernels::run_stats(xs, mean);
+      const auto rs_s = kernels::run_stats_scalar(xs, mean);
+      EXPECT_EQ(rs.count_above, rs_s.count_above);
+      EXPECT_EQ(rs.count_below, rs_s.count_below);
+      EXPECT_EQ(rs.longest_above, rs_s.longest_above);
+      EXPECT_EQ(rs.longest_below, rs_s.longest_below);
+      EXPECT_EQ(rs.crossings, rs_s.crossings);
+
+      EXPECT_EQ(kernels::count_beyond(xs, mean, 1.5),
+                kernels::count_beyond_scalar(xs, mean, 1.5));
+    }
+    std::vector<std::uint8_t> flags(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      flags[i] = static_cast<std::uint8_t>((i * 2654435761u) >> 13);
+    }
+    for (const std::uint8_t bit : {std::uint8_t{1}, std::uint8_t{2}}) {
+      EXPECT_EQ(kernels::count_flag_bits(flags, bit),
+                kernels::count_flag_bits_scalar(flags, bit))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(FeatureKernelTest, ApEnMatchCountsMatchScalar) {
+  kernels::ApEnScratch scratch;
+  kernels::ApEnScratch scratch_s;
+  for (const std::size_t n : sweep_lengths()) {
+    // Finite series only: approximate_entropy short-circuits non-finite r
+    // before the kernel ever runs (the header documents the precondition).
+    for (const auto& xs : sweep_datasets(n, /*include_nonfinite=*/false)) {
+      for (const std::size_t m : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}}) {
+        if (n < m + 2) continue;
+        const double r = 0.2 * tensor::stddev(xs);  // 0 for constant data
+        const std::size_t count_lo = n - m + 1;
+        std::vector<std::uint32_t> lo(count_lo, 1), lo_s(count_lo, 1);
+        std::vector<std::uint32_t> hi(count_lo - 1, 1), hi_s(count_lo - 1, 1);
+        kernels::apen_match_counts(xs, m, r, lo, hi, scratch);
+        kernels::apen_match_counts_scalar(xs, m, r, lo_s, hi_s, scratch_s);
+        EXPECT_EQ(lo, lo_s) << "n=" << n << " m=" << m;
+        EXPECT_EQ(hi, hi_s) << "n=" << n << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(FeatureKernelTest, SdftApplyMatchesScalarBitwise) {
+  constexpr std::uint32_t kW = 64;
+  constexpr std::size_t kBins = kW / 2 + 1;
+  std::vector<double> tw_re(kW), tw_im(kW);
+  for (std::uint32_t t = 0; t < kW; ++t) {
+    const double ang = -2.0 * std::numbers::pi * t / kW;
+    tw_re[t] = std::cos(ang);
+    tw_im[t] = std::sin(ang);
+  }
+  util::Rng rng(99);
+  for (const std::size_t ndeltas : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{16},
+                                    std::size_t{64}, std::size_t{100}}) {
+    for (const std::size_t u0 : {std::size_t{0}, std::size_t{7},
+                                 std::size_t{1000}}) {
+      std::vector<double> deltas(ndeltas);
+      for (std::size_t j = 0; j < ndeltas; ++j) {
+        // Zeros exercise the skip path on both sides.
+        deltas[j] = rng.bernoulli(0.25) ? 0.0 : rng.gaussian(0.0, 2.0);
+      }
+      std::vector<double> re(kBins, 0.5), im(kBins, -0.25);
+      std::vector<double> re_s = re, im_s = im;
+      kernels::sdft_apply(re.data(), im.data(), kBins, tw_re.data(),
+                          tw_im.data(), kW, u0, deltas);
+      kernels::sdft_apply_scalar(re_s.data(), im_s.data(), kBins,
+                                 tw_re.data(), tw_im.data(), kW, u0, deltas);
+      for (std::size_t k = 0; k < kBins; ++k) {
+        EXPECT_EQ(bits(re[k]), bits(re_s[k])) << "bin " << k;
+        EXPECT_EQ(bits(im[k]), bits(im_s[k])) << "bin " << k;
+      }
+    }
+  }
+}
+
+TEST(FeatureKernelTest, BinnedEntropySortedMatchesScan) {
+  // The sorted-path replacement must agree exactly with the historical
+  // O(n) scan whenever the profile routes to it (finite data, finite
+  // extrema): identical bin counts, identical fold order, identical bits.
+  for (const std::size_t n : sweep_lengths()) {
+    for (const auto& xs : sweep_datasets(n, /*include_nonfinite=*/false)) {
+      if (xs.empty()) continue;
+      auto sorted = xs;
+      std::sort(sorted.begin(), sorted.end());
+      const double lo = sorted.front();
+      const double hi = sorted.back();
+      for (const std::size_t bins : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{10}, std::size_t{16}}) {
+        EXPECT_EQ(bits(binned_entropy_sorted(sorted, bins, lo, hi)),
+                  bits(binned_entropy(xs, bins, lo, hi)))
+            << "n=" << n << " bins=" << bins;
+      }
+    }
+  }
+}
+
+struct ScalarKernelGuard {
+  explicit ScalarKernelGuard(bool on) { kernels::force_scalar(on); }
+  ~ScalarKernelGuard() { kernels::force_scalar(false); }
+};
+
+TEST(FeatureKernelTest, ForceScalarPipelineBitEqual) {
+  // The whole-engine version of the per-kernel sweeps: flipping the
+  // dispatch seam must not change a single output bit for any feature on
+  // any series class, because every kernel's scalar oracle evaluates the
+  // same arithmetic DAG as its vector path.
+  const std::vector<std::vector<double>> series{
+      series_random(1024, 7), series_random(193, 8), series_spiky(1024, 9),
+      series_with_nans(512, 10), series_constant(256, 3.25),
+      std::vector<double>{}, std::vector<double>{4.0, -2.0}};
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    std::vector<double> vec_out;
+    std::vector<double> scalar_out;
+    {
+      ScalarKernelGuard guard(false);
+      vec_out = compute_all_features(series[s]);
+    }
+    {
+      ScalarKernelGuard guard(true);
+      scalar_out = compute_all_features(series[s]);
+    }
+    ASSERT_EQ(vec_out.size(), scalar_out.size());
+    for (std::size_t i = 0; i < vec_out.size(); ++i) {
+      EXPECT_EQ(bits(vec_out[i]), bits(scalar_out[i]))
+          << "series " << s << ": " << feature_registry()[i].name;
+    }
+  }
 }
 
 }  // namespace

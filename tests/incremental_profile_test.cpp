@@ -5,6 +5,7 @@
 // documented per-feature tolerances (see DESIGN.md).
 #include "features/incremental_profile.hpp"
 
+#include "features/kernels.hpp"
 #include "features/registry.hpp"
 #include "features/series_preprocess.hpp"
 #include "features/series_profile.hpp"
@@ -12,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <random>
 #include <string>
@@ -39,7 +42,7 @@ TEST(SortedWindowTest, FuzzMatchesMultiset) {
   SortedWindow window;
   std::multiset<double> oracle;
   std::vector<double> pool;
-  std::vector<double> got;
+  util::AlignedVec<double> got;
   for (int step = 0; step < 20000; ++step) {
     const bool do_insert = oracle.empty() || (rng() % 3) != 0;
     if (do_insert) {
@@ -73,7 +76,7 @@ TEST(SortedWindowTest, RebuildAndCopyReproduceStdSort) {
   for (auto& v : data) v = value(rng);
   SortedWindow window;
   window.rebuild(data);
-  std::vector<double> got;
+  util::AlignedVec<double> got;
   window.copy_sorted(got);
   std::sort(data.begin(), data.end());
   ASSERT_EQ(got.size(), data.size());
@@ -224,12 +227,15 @@ ReplayResult run_parity_replay(const tensor::Matrix& data,
 }
 
 TEST(IncrementalParityTest, LongReplayFftPath) {
-  // W=64, H=16: the cost model picks the per-emission FFT (16 * 33 = 528
-  // bin updates vs ~352 butterfly ops), so spectral is bit-exact too.
+  // W=64, H=64 (tumbling windows): 64 * 33 = 2112 bin updates cost
+  // ~444 model units (x0.21) vs ~352 for the recompute, so the cost model
+  // picks the per-emission FFT and spectral is bit-exact too.  The
+  // measured crossover at W=64 sits at hop 51; hop 16 used to live here
+  // but the vectorized apply kernel moved it to the SDFT side.
   IncrementalConfig config;
   config.window = 64;
-  config.hop = 16;
-  const auto data = make_replay(64 + 210 * 16, 101);
+  config.hop = 64;
+  const auto data = make_replay(64 + 210 * 64, 101);
   const auto result = run_parity_replay(data, config);
   EXPECT_GE(result.windows, 200u);
   EXPECT_FALSE(result.used_sdft);
@@ -247,6 +253,82 @@ TEST(IncrementalParityTest, LongReplaySlidingDftPath) {
   const auto result = run_parity_replay(data, config);
   EXPECT_GE(result.windows, 200u);
   EXPECT_TRUE(result.used_sdft);
+}
+
+/// Streams `data` hop by hop and collects every emitted feature vector,
+/// with the kernel dispatch seam forced to the requested side.
+std::vector<std::vector<double>> collect_replay_outputs(
+    const tensor::Matrix& data, const IncrementalConfig& config,
+    bool scalar) {
+  features::kernels::force_scalar(scalar);
+  const std::size_t cols = data.cols();
+  IncrementalNodeExtractor extractor(cols, replay_kinds(), config);
+  std::vector<std::vector<double>> outputs;
+  std::vector<double> got(cols * features::features_per_metric());
+  std::size_t fed = 0;
+  while (fed < data.rows()) {
+    const std::size_t chunk = fed == 0
+                                  ? config.window
+                                  : std::min(config.hop, data.rows() - fed);
+    if (fed + chunk > data.rows()) break;
+    if (extractor.absorb_and_extract(data.slice_rows(fed, chunk), got)) {
+      outputs.push_back(got);
+    }
+    fed += chunk;
+  }
+  features::kernels::force_scalar(false);
+  return outputs;
+}
+
+TEST(IncrementalParityTest, ForceScalarReplayBitEqual) {
+  // SIMD-vs-scalar over the whole streaming engine: the same replay run
+  // with the vector kernels and with their scalar oracles must emit
+  // bit-identical feature vectors at every hop — including the SDFT-carried
+  // spectral family and the NaN-gap exact-fallback windows.
+  auto data = make_replay(64 + 60 * 16, 404);
+  for (std::size_t r = 100; r < data.rows(); r += 97) {
+    data.at(r, 0) = kNaN;  // gap-straddling windows hit the exact fallback
+  }
+  IncrementalConfig config;
+  config.window = 64;
+  config.hop = 16;
+  const auto vec = collect_replay_outputs(data, config, /*scalar=*/false);
+  const auto sca = collect_replay_outputs(data, config, /*scalar=*/true);
+  ASSERT_EQ(vec.size(), sca.size());
+  ASSERT_GT(vec.size(), 50u);
+  for (std::size_t w = 0; w < vec.size(); ++w) {
+    ASSERT_EQ(vec[w].size(), sca[w].size());
+    for (std::size_t i = 0; i < vec[w].size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(vec[w][i]),
+                std::bit_cast<std::uint64_t>(sca[w][i]))
+          << "window " << w << " index " << i;
+    }
+  }
+}
+
+TEST(IncrementalCostModelTest, GoldenCrossovers) {
+  // Pins the retuned spectral cost model (kSdftVectorFactor = 0.21, from
+  // the measured ~1.04ns/bin-update SDFT apply vs ~5.0ns/unit FFT).  If a
+  // retune moves these crossovers, the LongReplay* path tests above must
+  // move with them.
+  const auto m64 = features::spectral_cost_model(64, 16);
+  EXPECT_TRUE(m64.use_sdft);
+  EXPECT_NEAR(m64.sdft_cost, 0.21 * 16 * 33, 1e-9);
+  EXPECT_NEAR(m64.fft_cost, 1.5 * 32 * 6 + 64, 1e-9);
+
+  // Measured crossover at W=64: hop 50 is the last SDFT shape.
+  EXPECT_TRUE(features::spectral_cost_model(64, 50).use_sdft);
+  EXPECT_FALSE(features::spectral_cost_model(64, 51).use_sdft);
+  EXPECT_FALSE(features::spectral_cost_model(64, 64).use_sdft);
+
+  // W=1024 crossover sits at hop 80/81.
+  EXPECT_TRUE(features::spectral_cost_model(1024, 16).use_sdft);
+  EXPECT_TRUE(features::spectral_cost_model(1024, 80).use_sdft);
+  EXPECT_FALSE(features::spectral_cost_model(1024, 81).use_sdft);
+  EXPECT_FALSE(features::spectral_cost_model(1024, 512).use_sdft);
+
+  // Non-power-of-two windows always recompute regardless of hop.
+  EXPECT_FALSE(features::spectral_cost_model(100, 1).use_sdft);
 }
 
 TEST(IncrementalParityTest, NonPowerOfTwoWindow) {
